@@ -1,0 +1,75 @@
+"""Ablation: pair-input discriminator vs conventional mask-only design.
+
+Section 3.2 proves that a discriminator that sees only masks cannot
+force a one-to-one target->mask mapping (Eq. 6: the generator can emit
+*any* reference mask).  This ablation trains the same generator under
+both discriminators with a purely adversarial generator objective
+(alpha = 0, so the regression term cannot mask the effect) and compares
+how well the learned mapping tracks the per-target ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (GanOpcConfig, GanOpcTrainer, MaskGenerator,
+                        MaskOnlyDiscriminator, PairDiscriminator)
+from repro.ilt import ILTConfig
+from repro.layoutgen import SyntheticDataset
+from repro.litho import LithoConfig, build_kernels
+
+GRID = 32
+ITERATIONS = 120
+
+
+def _mapping_error(generator, dataset):
+    """Mean per-clip L2 between generated and reference masks."""
+    total = 0.0
+    for i in range(len(dataset)):
+        mask = generator.generate(dataset.target(i))
+        total += float(np.sum((mask - dataset.reference_mask(i)) ** 2))
+    return total / len(dataset)
+
+
+def _train(disc_cls, dataset, config):
+    generator = MaskGenerator(config.generator_channels,
+                              rng=np.random.default_rng(1))
+    discriminator = disc_cls(GRID, config.discriminator_channels,
+                             rng=np.random.default_rng(2))
+    trainer = GanOpcTrainer(generator, discriminator, config)
+    trainer.train(dataset, ITERATIONS, rng=np.random.default_rng(3))
+    return generator
+
+
+def test_pair_discriminator_enforces_mapping(benchmark):
+    litho = LithoConfig.small(GRID)
+    kernels = build_kernels(litho)
+    dataset = SyntheticDataset(litho, size=8, seed=77, kernels=kernels,
+                               ilt_config=ILTConfig(max_iterations=40))
+    dataset.precompute()
+    # alpha=0: only the adversarial signal teaches the mapping.  The
+    # residual path is identical in both arms, so any difference comes
+    # from the discriminator design alone.
+    config = GanOpcConfig(grid=GRID, generator_channels=(4, 8),
+                          discriminator_channels=(4, 8), batch_size=4,
+                          alpha=0.0)
+
+    def run():
+        pair_gen = _train(PairDiscriminator, dataset, config)
+        mask_gen = _train(MaskOnlyDiscriminator, dataset, config)
+        return (_mapping_error(pair_gen, dataset),
+                _mapping_error(mask_gen, dataset))
+
+    pair_error, mask_only_error = benchmark.pedantic(run, rounds=1,
+                                                     iterations=1)
+
+    print("\n=== Ablation: discriminator input design (Section 3.2) ===")
+    print(f"mapping L2 to ground truth  pair-input: {pair_error:10.1f}")
+    print(f"                            mask-only:  {mask_only_error:10.1f}")
+    benchmark.extra_info["pair_error"] = round(pair_error, 1)
+    benchmark.extra_info["mask_only_error"] = round(mask_only_error, 1)
+
+    # The pair design must not be worse; at most scales it is clearly
+    # better because the mask-only objective is satisfied by mode
+    # collapse onto any reference mask.
+    assert pair_error <= mask_only_error * 1.25

@@ -1,0 +1,72 @@
+"""Figure 7 reproduction: GAN-OPC vs PGAN-OPC training curves.
+
+The paper plots the squared L2 between generator outputs and ground
+truth masks against training step for both flows, observing that
+ILT-guided pre-training (Algorithm 2) makes training more stable and
+converge to a lower loss.
+
+This benchmark renders both curves (ASCII) and records their smoothed
+start/end levels.  The assertion mirrors the paper's claim: PGAN-OPC's
+final loss is at or below GAN-OPC's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import ascii_curve
+
+
+def _smoothed_tail(series, fraction=0.1):
+    tail = max(int(len(series) * fraction), 1)
+    return float(np.mean(series[-tail:]))
+
+
+def test_figure7_training_curves(pipeline, generators, benchmark):
+    """Render the Figure 7 curves from the shared training run.
+
+    Training itself happens once in the session fixture; this benchmark
+    measures curve post-processing and records the Figure 7 statistics.
+    """
+    gan = generators.gan_history.l2_to_reference
+    pgan = generators.pgan_history.l2_to_reference
+
+    def summarize():
+        return {
+            "gan_start": _smoothed_tail(gan[: max(len(gan) // 10, 1)]),
+            "gan_end": _smoothed_tail(gan),
+            "pgan_end": _smoothed_tail(pgan),
+        }
+
+    stats = benchmark.pedantic(summarize, rounds=1, iterations=1)
+
+    print("\n=== Figure 7 (reproduced): L2 to ground truth vs step ===")
+    print(ascii_curve(gan, title="GAN-OPC (no pre-training)", label="step"))
+    print(ascii_curve(pgan, title="PGAN-OPC (ILT-guided pre-training)",
+                      label="step"))
+    print(f"\nfinal smoothed L2: GAN-OPC {stats['gan_end']:.1f}  "
+          f"PGAN-OPC {stats['pgan_end']:.1f}")
+
+    benchmark.extra_info.update({k: round(v, 1) for k, v in stats.items()})
+
+    # Paper shape: training reduces the mapping loss, and pre-training
+    # converges at or below the non-pre-trained flow.
+    assert stats["gan_end"] < stats["gan_start"] * 1.05
+    assert stats["pgan_end"] <= stats["gan_end"] * 1.10
+
+
+def test_pretraining_descends_litho_error(generators, benchmark):
+    """Algorithm 2's own curve: the pre-training lithography error must
+    trend downward (the 'step-by-step guidance' the paper describes)."""
+    errors = generators.pretrain_history.litho_error
+
+    def check():
+        head = float(np.mean(errors[: max(len(errors) // 5, 1)]))
+        tail = float(np.mean(errors[-max(len(errors) // 5, 1):]))
+        return head, tail
+
+    head, tail = benchmark.pedantic(check, rounds=1, iterations=1)
+    print(f"\npretraining litho error: {head:.1f} -> {tail:.1f}")
+    benchmark.extra_info["pretrain_start"] = round(head, 1)
+    benchmark.extra_info["pretrain_end"] = round(tail, 1)
+    assert tail < head

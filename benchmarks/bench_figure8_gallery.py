@@ -1,0 +1,39 @@
+"""Figure 8 reproduction: mask / wafer-image gallery.
+
+The paper's Figure 8 shows, for the ten benchmark clips, five rows:
+ILT masks, PGAN-OPC masks, their wafer images, and the target patterns.
+This benchmark regenerates those rows from the shared Table 2 runs and
+writes them as a PGM montage under
+``benchmarks/output/figure8_gallery.pgm``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.bench import run_figure8, save_gallery
+
+
+def test_figure8_gallery(pipeline, table2_result, output_dir, benchmark):
+    rows = benchmark.pedantic(lambda: run_figure8(pipeline, table2_result),
+                              rounds=1, iterations=1)
+
+    path = os.path.join(output_dir, "figure8_gallery.pgm")
+    save_gallery(rows, path)
+    print(f"\nFigure 8 gallery written to {path}")
+    print("rows: (a) ILT masks, (b) PGAN-OPC masks, (c) ILT wafers, "
+          "(d) PGAN-OPC wafers, (e) targets")
+
+    assert len(rows) == 5
+    assert all(len(row) == len(table2_result.clips) for row in rows)
+    targets = rows[4]
+    for i, target in enumerate(targets):
+        # Each wafer row must overlap its target substantially.
+        for wafer_row in (rows[2], rows[3]):
+            wafer = wafer_row[i]
+            overlap = np.logical_and(wafer > 0.5, target > 0.5).sum()
+            assert overlap > 0.5 * target.sum(), (
+                f"clip {i}: wafer misses most of the target")
+    benchmark.extra_info["clips"] = len(table2_result.clips)

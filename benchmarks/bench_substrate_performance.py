@@ -1,0 +1,70 @@
+"""Substrate performance benchmarks.
+
+Not a paper table — these measure the throughput of the pieces every
+experiment is built on (the numbers that determine how far above the
+CPU scale a user can push):
+
+* aerial-image simulation (Eq. 2) per grid size,
+* one ILT gradient step (Eq. 14),
+* one generator forward pass,
+* one full Algorithm 1 training iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (GanOpcConfig, GanOpcTrainer, MaskGenerator,
+                        PairDiscriminator)
+from repro.ilt import litho_error_and_gradient
+from repro.litho import LithoConfig, build_kernels, aerial_image
+
+
+def _wire_mask(grid):
+    mask = np.zeros((grid, grid))
+    width = grid // 8
+    mask[grid // 2 - width // 2: grid // 2 + width // 2,
+         grid // 8: grid - grid // 8] = 1.0
+    return mask
+
+
+@pytest.mark.parametrize("grid", [64, 128, 256])
+def test_aerial_image_throughput(grid, benchmark):
+    kernels = build_kernels(LithoConfig.small(grid))
+    mask = _wire_mask(grid)
+    benchmark(aerial_image, mask, kernels)
+
+
+@pytest.mark.parametrize("grid", [64, 128])
+def test_ilt_gradient_step(grid, benchmark):
+    config = LithoConfig.small(grid)
+    kernels = build_kernels(config)
+    target = _wire_mask(grid)
+    params = 2.0 * target - 1.0
+    benchmark(litho_error_and_gradient, params, target, kernels,
+              config.threshold, config.resist_steepness,
+              config.mask_steepness)
+
+
+def test_generator_forward(benchmark):
+    config = GanOpcConfig.small(64)
+    generator = MaskGenerator(config.generator_channels,
+                              rng=np.random.default_rng(0))
+    generator.eval()
+    target = _wire_mask(64)
+    benchmark(generator.generate, target)
+
+
+def test_algorithm1_iteration(benchmark):
+    config = GanOpcConfig.small(64)
+    generator = MaskGenerator(config.generator_channels,
+                              rng=np.random.default_rng(0))
+    discriminator = PairDiscriminator(64, config.discriminator_channels,
+                                      rng=np.random.default_rng(1))
+    trainer = GanOpcTrainer(generator, discriminator, config)
+    rng = np.random.default_rng(2)
+    targets = (rng.random((config.batch_size, 1, 64, 64)) > 0.8).astype(float)
+    masks = np.clip(targets + 0.1 * rng.random(targets.shape), 0, 1)
+    benchmark(trainer.train_iteration, targets, masks)

@@ -1,0 +1,136 @@
+"""Shared fixtures for the benchmark suite.
+
+The expensive state — a built pipeline and the two trained generators —
+is session-scoped and shared by the Table 2 / Figure 7 / Figure 8 /
+Figure 9 benchmarks, exactly as one training run feeds all evaluation
+experiments in the paper.
+
+Scale is selected with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``full`` (default) — 128 px, the smallest scale where Table 2's
+  qualitative shape reproduces (~6 CPU minutes for the shared run);
+* ``medium`` — 64 px, ~1.5 minutes;
+* ``quick`` — 32 px smoke scale for CI.
+
+Trained generators are checkpointed under ``benchmarks/.cache`` keyed
+by the experiment configuration, so re-running the suite skips
+training.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.bench import ExperimentConfig, Pipeline, TrainedGenerators
+from repro.bench.harness import train_generators as _train
+from repro.core import MaskGenerator
+from repro.core.gan_opc import TrainingHistory
+from repro.core.pretrain import PretrainHistory
+
+_CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def _scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "full")
+
+
+def experiment_config() -> ExperimentConfig:
+    scale = _scale()
+    if scale == "quick":
+        return ExperimentConfig.quick()
+    if scale == "medium":
+        return ExperimentConfig.medium()
+    if scale == "full":
+        return ExperimentConfig()
+    raise ValueError(f"unknown REPRO_BENCH_SCALE={scale!r}")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return experiment_config()
+
+
+@pytest.fixture(scope="session")
+def pipeline(bench_config) -> Pipeline:
+    return Pipeline.build(bench_config)
+
+
+def _config_key(config: ExperimentConfig) -> str:
+    payload = json.dumps(config.__dict__, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@pytest.fixture(scope="session")
+def generators(pipeline) -> TrainedGenerators:
+    """Trained GAN-OPC / PGAN-OPC generators, cached on disk."""
+    key = _config_key(pipeline.config)
+    cache = os.path.join(_CACHE_DIR, key)
+    gan_ckpt = os.path.join(cache, "gan.npz")
+    pgan_ckpt = os.path.join(cache, "pgan.npz")
+    hist_path = os.path.join(cache, "histories.npz")
+
+    gan_cfg = pipeline.gan_config()
+    if all(os.path.exists(p) for p in (gan_ckpt, pgan_ckpt, hist_path)):
+        gan = MaskGenerator(gan_cfg.generator_channels,
+                            rng=np.random.default_rng(0))
+        pgan = MaskGenerator(gan_cfg.generator_channels,
+                             rng=np.random.default_rng(0))
+        nn.load_state(gan, gan_ckpt)
+        nn.load_state(pgan, pgan_ckpt)
+        with np.load(hist_path) as h:
+            gan_history = TrainingHistory(
+                generator_loss=list(h["gan_g"]),
+                discriminator_loss=list(h["gan_d"]),
+                l2_to_reference=list(h["gan_l2"]),
+                runtime_seconds=float(h["gan_rt"]))
+            pgan_history = TrainingHistory(
+                generator_loss=list(h["pgan_g"]),
+                discriminator_loss=list(h["pgan_d"]),
+                l2_to_reference=list(h["pgan_l2"]),
+                runtime_seconds=float(h["pgan_rt"]))
+            pretrain_history = PretrainHistory(
+                litho_error=list(h["pre_e"]),
+                runtime_seconds=float(h["pre_rt"]))
+        return TrainedGenerators(gan=gan, pgan=pgan,
+                                 gan_history=gan_history,
+                                 pgan_history=pgan_history,
+                                 pretrain_history=pretrain_history)
+
+    trained = _train(pipeline)
+    os.makedirs(cache, exist_ok=True)
+    nn.save_state(trained.gan, gan_ckpt)
+    nn.save_state(trained.pgan, pgan_ckpt)
+    np.savez(hist_path,
+             gan_g=trained.gan_history.generator_loss,
+             gan_d=trained.gan_history.discriminator_loss,
+             gan_l2=trained.gan_history.l2_to_reference,
+             gan_rt=trained.gan_history.runtime_seconds,
+             pgan_g=trained.pgan_history.generator_loss,
+             pgan_d=trained.pgan_history.discriminator_loss,
+             pgan_l2=trained.pgan_history.l2_to_reference,
+             pgan_rt=trained.pgan_history.runtime_seconds,
+             pre_e=trained.pretrain_history.litho_error,
+             pre_rt=trained.pretrain_history.runtime_seconds)
+    return trained
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> str:
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def table2_result(pipeline, generators):
+    """The Table 2 experiment, run once and shared by the Table 2,
+    Figure 8 and Figure 9 benchmarks (they are different views of the
+    same optimization runs, as in the paper)."""
+    from repro.bench import run_table2
+    return run_table2(pipeline, generators)

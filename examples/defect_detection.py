@@ -1,0 +1,83 @@
+"""Defect-detector walkthrough (Figure 2 of the paper).
+
+Figure 2 argues that no single detector is a complete printability
+metric: EPE misses necks and bridges; neck/bridge checks miss edge
+displacement.  This example constructs wafer images exhibiting each
+failure mode and runs all three detectors on each, printing a matrix
+of which detector catches what.
+
+Run:  python examples/defect_detection.py
+"""
+
+import numpy as np
+
+from repro.geometry import Layout, Rect, rasterize
+from repro.metrics import detect_bridges, detect_necks, measure_epe
+
+GRID = 64
+EXTENT = 512.0  # 8nm pixels
+
+
+def _two_wire_layout():
+    return Layout(extent=EXTENT, rects=[
+        Rect(64, 128, 448, 208),   # wire A (80nm tall)
+        Rect(64, 304, 448, 384),   # wire B
+    ])
+
+
+def _perfect_wafer(layout):
+    return rasterize(layout, GRID, antialias=False)
+
+
+def scenario_perfect():
+    layout = _two_wire_layout()
+    return "perfect print", layout, _perfect_wafer(layout)
+
+
+def scenario_edge_shift():
+    """Uniform edge displacement: EPE fires, neck/bridge stay silent."""
+    layout = _two_wire_layout()
+    shifted = Layout(extent=EXTENT, rects=[
+        r.translated(24.0, 0.0) for r in layout.rects])
+    return "edge displacement (3px)", layout, _perfect_wafer(shifted)
+
+
+def scenario_neck():
+    """Local pinch: neck detector fires; sparse EPE points can miss it."""
+    layout = _two_wire_layout()
+    wafer = _perfect_wafer(layout)
+    wafer[16:24, 30:33] = 0.0  # pinch wire A down to ~2px
+    wafer[16:21, 30:33] = 0.0
+    # Leave a 2px-tall strip connected.
+    wafer[24:26, 30:33] = 1.0
+    return "neck (local CD loss)", layout, wafer
+
+
+def scenario_bridge():
+    """Printed short between the wires: bridge detector fires."""
+    layout = _two_wire_layout()
+    wafer = _perfect_wafer(layout)
+    wafer[16:48, 31:33] = 1.0  # vertical short
+    return "bridge (short)", layout, wafer
+
+
+def main():
+    target_grid = GRID
+    print(f"{'scenario':28s} {'EPE viol':>9s} {'necks':>6s} {'bridges':>8s}")
+    for scenario in (scenario_perfect, scenario_edge_shift, scenario_neck,
+                     scenario_bridge):
+        name, layout, wafer = scenario()
+        target = rasterize(layout, target_grid, antialias=False)
+        epe = measure_epe(wafer, layout, threshold=10.0)
+        necks = detect_necks(wafer, target, min_width_px=5)  # 40nm = CD/2
+        bridges = detect_bridges(wafer, target)
+        print(f"{name:28s} {epe.violations:9d} {len(necks):6d} "
+              f"{len(bridges):8d}")
+
+    print("\nAs in Figure 2: each detector sees a different failure mode —")
+    print("which is why the paper optimizes the squared L2 of the full")
+    print("wafer image instead of any single detector's count.")
+
+
+if __name__ == "__main__":
+    main()

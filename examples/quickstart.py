@@ -1,0 +1,102 @@
+"""Quickstart: optimize one clip end to end with every engine.
+
+Walks the whole stack in about a minute on a laptop CPU:
+
+1. synthesize a design-rule-clean M1 clip (Table 1 rules),
+2. simulate how it would print with *no* correction,
+3. correct it with model-based OPC (the conventional flow of Fig. 1),
+4. correct it with ILT (the paper's baseline [7]),
+5. run the GAN-OPC flow: pre-train a small generator with lithography
+   guidance (Algorithm 2), then generate + refine (Fig. 6),
+6. score everything (squared L2, PV band) and save wafer images.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench import write_pgm
+from repro.core import (GanOpcConfig, GanOpcFlow, ILTGuidedPretrainer,
+                        MaskGenerator)
+from repro.geometry import binarize, rasterize
+from repro.ilt import ILTConfig, ILTOptimizer
+from repro.layoutgen import LayoutSynthesizer, SyntheticDataset, TopologyConfig
+from repro.litho import LithoConfig, LithoSimulator, build_kernels
+from repro.metrics import evaluate_mask
+from repro.opc import MbOpcConfig, ModelBasedOPC
+
+GRID = 64
+OUT = os.path.join(os.path.dirname(__file__), "output", "quickstart")
+
+
+def main():
+    litho = LithoConfig.small(GRID)
+    kernels = build_kernels(litho)
+    simulator = LithoSimulator(litho, kernels)
+
+    # 1. A clip to optimize.
+    synthesizer = LayoutSynthesizer(TopologyConfig(extent=litho.extent_nm,
+                                                   margin=60.0))
+    clip = synthesizer.generate(np.random.default_rng(5), name="quickstart")
+    target = binarize(rasterize(clip, GRID))
+    print(f"clip: {len(clip)} shapes, {clip.pattern_area:.0f} nm^2 pattern")
+
+    results = {}
+
+    # 2. No correction: print the target as drawn.
+    results["no-OPC"] = evaluate_mask(simulator, target, target,
+                                      layout=clip, name="no-OPC")
+
+    # 3. Model-based OPC.
+    mb = ModelBasedOPC(litho, MbOpcConfig(iterations=8), kernels=kernels)
+    mb_result = mb.optimize(clip)
+    results["MB-OPC"] = evaluate_mask(
+        simulator, mb_result.mask, target, layout=clip, name="MB-OPC",
+        runtime_seconds=mb_result.runtime_seconds)
+
+    # 4. ILT from scratch.
+    ilt = ILTOptimizer(litho, ILTConfig(max_iterations=150), kernels=kernels)
+    ilt_result = ilt.optimize(target)
+    results["ILT"] = evaluate_mask(
+        simulator, ilt_result.mask, target, layout=clip, name="ILT",
+        runtime_seconds=ilt_result.runtime_seconds)
+
+    # 5. GAN-OPC: lithography-guided pre-training on a small synthetic
+    #    library, then generate + refine.  (A real deployment trains
+    #    Algorithm 1 on top — see train_gan_opc.py.)
+    config = GanOpcConfig.small(GRID)
+    generator = MaskGenerator(config.generator_channels,
+                              rng=np.random.default_rng(0))
+    dataset = SyntheticDataset(litho, size=12, seed=1, kernels=kernels)
+    print("pre-training the generator with lithography guidance ...")
+    ILTGuidedPretrainer(generator, litho, config, kernels=kernels).train(
+        dataset, iterations=100, rng=np.random.default_rng(2))
+    flow = GanOpcFlow(generator, litho,
+                      ILTConfig(max_iterations=120, patience=8),
+                      kernels=kernels)
+    flow_result = flow.optimize(target)
+    results["GAN-OPC"] = evaluate_mask(
+        simulator, flow_result.mask, target, layout=clip, name="GAN-OPC",
+        runtime_seconds=flow_result.runtime_seconds)
+
+    # 6. Report.
+    print(f"\n{'method':10s} {'L2 (nm^2)':>10s} {'PVB (nm^2)':>11s} "
+          f"{'EPE viol':>9s} {'RT (s)':>7s}")
+    for name, ev in results.items():
+        rt = f"{ev.runtime_seconds:7.2f}" if ev.runtime_seconds else "      -"
+        print(f"{name:10s} {ev.l2_nm2:10.0f} {ev.pvband_nm2:11.0f} "
+              f"{ev.epe_violations:9d} {rt}")
+
+    os.makedirs(OUT, exist_ok=True)
+    write_pgm(target, os.path.join(OUT, "target.pgm"))
+    write_pgm(ilt_result.mask, os.path.join(OUT, "ilt_mask.pgm"))
+    write_pgm(flow_result.mask, os.path.join(OUT, "ganopc_mask.pgm"))
+    write_pgm(simulator.wafer_image(flow_result.mask),
+              os.path.join(OUT, "ganopc_wafer.pgm"))
+    print(f"\nimages written to {OUT}/")
+
+
+if __name__ == "__main__":
+    main()

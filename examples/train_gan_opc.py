@@ -1,0 +1,69 @@
+"""Train GAN-OPC and PGAN-OPC generators (Algorithms 1 and 2).
+
+The full training recipe of the paper at a configurable scale:
+
+1. synthesize a training library under the Table 1 design rules and
+   build ILT reference masks for it (the expensive offline stage);
+2. train a GAN-OPC generator from random initialization (Algorithm 1);
+3. train a PGAN-OPC generator: ILT-guided pre-training (Algorithm 2)
+   followed by the same adversarial schedule;
+4. plot both Figure 7-style curves (ASCII) and checkpoint the weights.
+
+Run:       python examples/train_gan_opc.py [--scale quick|medium|full]
+Outputs:   examples/output/train/{gan,pgan}.npz + curves.txt
+"""
+
+import argparse
+import os
+
+from repro import nn
+from repro.bench import ExperimentConfig, Pipeline, ascii_curve, train_generators
+
+OUT = os.path.join(os.path.dirname(__file__), "output", "train")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("quick", "medium", "full"),
+                        default="medium",
+                        help="experiment scale (default: medium, ~2 min)")
+    args = parser.parse_args()
+    config = {"quick": ExperimentConfig.quick,
+              "medium": ExperimentConfig.medium,
+              "full": ExperimentConfig}[args.scale]()
+
+    print(f"scale={args.scale}: grid {config.grid}px, "
+          f"{config.dataset_size} training clips, "
+          f"{config.pretrain_iterations}+{config.gan_iterations} iterations")
+
+    pipeline = Pipeline.build(config)
+    print("building ILT reference masks (offline stage) ...")
+    pipeline.dataset.precompute(progress=True)
+
+    print("training GAN-OPC and PGAN-OPC ...")
+    trained = train_generators(pipeline, verbose=True)
+
+    gan_curve = ascii_curve(trained.gan_history.l2_to_reference,
+                            title="GAN-OPC: L2 to ground truth vs step",
+                            label="step")
+    pgan_curve = ascii_curve(trained.pgan_history.l2_to_reference,
+                             title="PGAN-OPC: L2 to ground truth vs step",
+                             label="step")
+    pre_curve = ascii_curve(trained.pretrain_history.litho_error,
+                            title="Algorithm 2: litho error vs step",
+                            label="step")
+    print(gan_curve)
+    print(pgan_curve)
+
+    os.makedirs(OUT, exist_ok=True)
+    nn.save_state(trained.gan, os.path.join(OUT, "gan.npz"))
+    nn.save_state(trained.pgan, os.path.join(OUT, "pgan.npz"))
+    with open(os.path.join(OUT, "curves.txt"), "w") as handle:
+        handle.write("\n\n".join([pre_curve, gan_curve, pgan_curve]) + "\n")
+    print(f"\ncheckpoints and curves written to {OUT}/")
+    print("evaluate them with examples/full_flow_iccad.py --checkpoint "
+          f"{OUT}/pgan.npz")
+
+
+if __name__ == "__main__":
+    main()

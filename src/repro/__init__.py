@@ -1,0 +1,23 @@
+"""GAN-OPC reproduction: mask optimization with lithography-guided GANs.
+
+A full-stack, pure-Python reproduction of "GAN-OPC: Mask Optimization
+with Lithography-guided Generative Adversarial Nets" (Yang et al., DAC
+2018), including every substrate the paper depends on:
+
+* :mod:`repro.nn` -- numpy autograd + CNN framework,
+* :mod:`repro.litho` -- Hopkins coherent-kernel lithography simulation,
+* :mod:`repro.geometry` -- layout geometry, raster bridge, design rules,
+* :mod:`repro.layoutgen` -- synthetic training-layout library,
+* :mod:`repro.ilt` -- inverse lithography engine (baseline + refiner),
+* :mod:`repro.opc` -- model-based OPC baseline,
+* :mod:`repro.metrics` -- L2 / PV band / EPE / neck / bridge,
+* :mod:`repro.core` -- the GAN-OPC networks, training flows and the
+  end-to-end inference flow,
+* :mod:`repro.bench` -- ICCAD-2013-substitute benchmark suite and the
+  experiment harness regenerating the paper\'s tables and figures.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["nn", "litho", "geometry", "layoutgen", "ilt", "opc",
+           "metrics", "core", "bench", "__version__"]

@@ -1,0 +1,25 @@
+"""``repro.bench`` — benchmark suite and experiment harness.
+
+The ICCAD-2013-substitute clip set (:mod:`iccad13`, matched to Table
+2's per-clip areas), the experiment harness regenerating the paper's
+tables and figures (:mod:`harness`), and dependency-free visualization
+outputs (:mod:`visualize`).
+"""
+
+from .harness import (DefectComparison, ExperimentConfig, Pipeline,
+                      Table2Result, TrainedGenerators, run_figure8,
+                      run_figure9, run_table2, train_generators)
+from .iccad13 import (PAPER_AVERAGES, PAPER_TABLE2, PAPER_WINDOW_NM,
+                      BenchmarkClip, iccad13_suite, make_clip, scaled_area)
+from .visualize import (ascii_curve, montage, overlay_comparison, read_pgm,
+                        save_gallery, write_pgm)
+
+__all__ = [
+    "PAPER_TABLE2", "PAPER_AVERAGES", "PAPER_WINDOW_NM",
+    "BenchmarkClip", "make_clip", "iccad13_suite", "scaled_area",
+    "ExperimentConfig", "Pipeline", "TrainedGenerators",
+    "train_generators", "Table2Result", "run_table2",
+    "run_figure8", "run_figure9", "DefectComparison",
+    "write_pgm", "read_pgm", "montage", "ascii_curve",
+    "overlay_comparison", "save_gallery",
+]

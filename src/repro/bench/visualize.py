@@ -1,0 +1,122 @@
+"""Dependency-free visualization outputs for the experiments.
+
+The paper's Figures 7-9 are a training-curve plot and image galleries.
+Without matplotlib, curves are rendered as ASCII charts and images as
+binary PGM files (readable by any image viewer and by numpy), which is
+enough to inspect masks, wafer images and their differences.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def write_pgm(image: np.ndarray, path: str) -> None:
+    """Write a float image in [0, 1] (or binary) as an 8-bit PGM file."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"PGM needs a 2-D image, got shape {image.shape}")
+    data = np.clip(image, 0.0, 1.0)
+    pixels = (data * 255).astype(np.uint8)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as handle:
+        header = f"P5\n{image.shape[1]} {image.shape[0]}\n255\n"
+        handle.write(header.encode("ascii"))
+        handle.write(pixels.tobytes())
+
+
+def read_pgm(path: str) -> np.ndarray:
+    """Read a binary 8-bit PGM written by :func:`write_pgm`."""
+    with open(path, "rb") as handle:
+        magic = handle.readline().strip()
+        if magic != b"P5":
+            raise ValueError(f"not a binary PGM file: {path}")
+        dims = handle.readline().split()
+        width, height = int(dims[0]), int(dims[1])
+        maxval = int(handle.readline())
+        raw = handle.read(width * height)
+    return np.frombuffer(raw, dtype=np.uint8).reshape(height, width) / maxval
+
+
+def montage(images: Sequence[np.ndarray], columns: int,
+            pad: int = 2, pad_value: float = 0.5) -> np.ndarray:
+    """Tile equally-sized images into a grid (Figure 8-style gallery)."""
+    if not images:
+        raise ValueError("montage of no images")
+    shape = images[0].shape
+    for image in images:
+        if image.shape != shape:
+            raise ValueError("montage images must share one shape")
+    if columns < 1:
+        raise ValueError("columns must be >= 1")
+    rows = -(-len(images) // columns)
+    h, w = shape
+    out = np.full((rows * h + (rows + 1) * pad,
+                   columns * w + (columns + 1) * pad), pad_value)
+    for index, image in enumerate(images):
+        r, c = divmod(index, columns)
+        y = pad + r * (h + pad)
+        x = pad + c * (w + pad)
+        out[y:y + h, x:x + w] = image
+    return out
+
+
+def ascii_curve(values: Sequence[float], width: int = 70, height: int = 14,
+                title: Optional[str] = None,
+                label: str = "") -> str:
+    """Render a 1-D series as an ASCII chart (Figure 7 stand-in)."""
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("empty series")
+    if len(values) > width:
+        # Downsample by block means to the chart width.
+        edges = np.linspace(0, len(values), width + 1).astype(int)
+        values = [float(np.mean(values[a:b])) for a, b in zip(edges[:-1], edges[1:])
+                  if b > a]
+    vmax, vmin = max(values), min(values)
+    span = vmax - vmin or 1.0
+    grid = [[" "] * len(values) for _ in range(height)]
+    for x, value in enumerate(values):
+        y = int(round((vmax - value) / span * (height - 1)))
+        grid[y][x] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{vmax:12.2f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 12 + " |" + "".join(row))
+    lines.append(f"{vmin:12.2f} +" + "".join(grid[-1]))
+    lines.append(" " * 14 + f"{label} (n={len(values)})")
+    return "\n".join(lines)
+
+
+def overlay_comparison(target: np.ndarray, wafer: np.ndarray) -> np.ndarray:
+    """Grayscale overlay: target-only 0.33, wafer-only 0.66, overlap 1.
+
+    Makes line-end pull-back and bridging visible in a single image
+    (Figure 9-style detail views).
+    """
+    target = np.asarray(target) > 0.5
+    wafer = np.asarray(wafer) > 0.5
+    out = np.zeros(target.shape, dtype=float)
+    out[target & ~wafer] = 0.33
+    out[wafer & ~target] = 0.66
+    out[wafer & target] = 1.0
+    return out
+
+
+def save_gallery(rows: List[List[np.ndarray]], path: str,
+                 pad: int = 3) -> None:
+    """Save a Figure 8-style gallery: one row per image kind, one
+    column per clip."""
+    flat: List[np.ndarray] = []
+    columns = len(rows[0])
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("gallery rows must have equal lengths")
+        flat.extend(row)
+    write_pgm(montage(flat, columns=columns, pad=pad), path)

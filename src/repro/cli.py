@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the main engines as shell commands so the repo is usable
+without writing Python:
+
+* ``synthesize`` — generate design-rule-clean clips as ``.glp`` files;
+* ``simulate``   — lithography-simulate a mask and report metrics;
+* ``ilt``        — optimize a clip's mask with the ILT engine;
+* ``sraf``       — insert assist features into a clip;
+* ``flow``       — run the GAN-OPC flow with a trained checkpoint;
+* ``table2``     — run the full Table 2 experiment at a chosen scale.
+
+Layouts move as GLP text files, images as PGM; metrics print on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _litho(args):
+    from .litho import LithoConfig
+    return LithoConfig.small(args.grid)
+
+
+def _load_target(path: str, grid: int):
+    from .geometry import binarize, glp, rasterize
+    layout = glp.load(path)
+    return layout, binarize(rasterize(layout, grid))
+
+
+# ----------------------------------------------------------------------
+def cmd_synthesize(args) -> int:
+    from .geometry import glp
+    from .layoutgen import LayoutSynthesizer, TopologyConfig
+
+    litho = _litho(args)
+    config = TopologyConfig(extent=litho.extent_nm,
+                            margin=min(120.0, litho.extent_nm / 8.0))
+    clips = LayoutSynthesizer(config).generate_batch(args.count,
+                                                     seed=args.seed)
+    for i, clip in enumerate(clips):
+        path = f"{args.prefix}{i:04d}.glp"
+        glp.save(clip, path)
+        print(f"{path}: {len(clip)} shapes, {clip.pattern_area:.0f} nm^2")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .bench import write_pgm
+    from .litho import LithoSimulator
+    from .metrics import evaluate_mask
+
+    litho = _litho(args)
+    layout, target = _load_target(args.clip, litho.grid)
+    if args.mask:
+        from .bench import read_pgm
+        mask = (read_pgm(args.mask) >= 0.5).astype(float)
+        if mask.shape != (litho.grid, litho.grid):
+            print(f"error: mask is {mask.shape}, expected "
+                  f"({litho.grid}, {litho.grid})", file=sys.stderr)
+            return 2
+    else:
+        mask = target
+    simulator = LithoSimulator(litho)
+    evaluation = evaluate_mask(simulator, mask, target, layout=layout,
+                               name=layout.name or "clip")
+    for key, value in evaluation.as_dict().items():
+        print(f"{key}: {value}")
+    if args.out:
+        write_pgm(simulator.wafer_image(mask), args.out)
+        print(f"wafer image written to {args.out}")
+    return 0
+
+
+def cmd_ilt(args) -> int:
+    from .bench import write_pgm
+    from .ilt import ILTConfig, ILTOptimizer
+    from .litho import LithoSimulator
+    from .metrics import evaluate_mask
+
+    litho = _litho(args)
+    layout, target = _load_target(args.clip, litho.grid)
+    optimizer = ILTOptimizer(litho, ILTConfig(max_iterations=args.iterations))
+    result = optimizer.optimize(target)
+    evaluation = evaluate_mask(LithoSimulator(litho), result.mask, target,
+                               layout=layout, name=layout.name or "clip",
+                               runtime_seconds=result.runtime_seconds)
+    print(f"iterations: {result.iterations} (converged={result.converged})")
+    for key, value in evaluation.as_dict().items():
+        print(f"{key}: {value}")
+    write_pgm(result.mask, args.out)
+    print(f"mask written to {args.out}")
+    return 0
+
+
+def cmd_sraf(args) -> int:
+    from .geometry import glp
+    from .opc import SrafConfig, assisted_mask_layout
+
+    layout = glp.load(args.clip)
+    config = SrafConfig(width=args.width, offset=args.offset)
+    assisted = assisted_mask_layout(layout, config)
+    glp.save(assisted, args.out)
+    added = len(assisted) - len(layout)
+    print(f"inserted {added} assist bars -> {args.out}")
+    return 0
+
+
+def cmd_flow(args) -> int:
+    from . import nn
+    from .bench import write_pgm
+    from .core import GanOpcConfig, GanOpcFlow, MaskGenerator
+    from .ilt import ILTConfig
+    from .litho import LithoSimulator
+    from .metrics import evaluate_mask
+
+    litho = _litho(args)
+    layout, target = _load_target(args.clip, litho.grid)
+    config = GanOpcConfig.small(litho.grid)
+    generator = MaskGenerator(config.generator_channels,
+                              rng=np.random.default_rng(0))
+    nn.load_state(generator, args.checkpoint)
+    flow = GanOpcFlow(generator, litho,
+                      ILTConfig(max_iterations=args.iterations, patience=4))
+    result = flow.optimize(target)
+    evaluation = evaluate_mask(LithoSimulator(litho), result.mask, target,
+                               layout=layout, name=layout.name or "clip",
+                               runtime_seconds=result.runtime_seconds)
+    print(f"generation: {result.generation_seconds:.3f}s, "
+          f"refinement: {result.refinement_seconds:.3f}s "
+          f"({result.ilt_result.iterations} steps)")
+    for key, value in evaluation.as_dict().items():
+        print(f"{key}: {value}")
+    write_pgm(result.mask, args.out)
+    print(f"mask written to {args.out}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from .bench import ExperimentConfig, Pipeline, run_table2, train_generators
+
+    config = {"quick": ExperimentConfig.quick,
+              "medium": ExperimentConfig.medium,
+              "full": ExperimentConfig}[args.scale]()
+    pipeline = Pipeline.build(config)
+    print(f"training generators at scale {args.scale!r} "
+          f"(grid {config.grid}px) ...")
+    generators = train_generators(pipeline, verbose=args.verbose)
+    result = run_table2(pipeline, generators)
+    print(result.table)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GAN-OPC reproduction: mask optimization toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synthesize", help="generate random legal clips")
+    p.add_argument("--count", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--grid", type=int, default=128)
+    p.add_argument("--prefix", default="clip-")
+    p.set_defaults(func=cmd_synthesize)
+
+    p = sub.add_parser("simulate", help="simulate a mask against a clip")
+    p.add_argument("clip", help="target layout (.glp)")
+    p.add_argument("--mask", help="mask image (.pgm); default: the target")
+    p.add_argument("--grid", type=int, default=128)
+    p.add_argument("--out", help="write the wafer image here (.pgm)")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("ilt", help="ILT mask optimization for a clip")
+    p.add_argument("clip", help="target layout (.glp)")
+    p.add_argument("--grid", type=int, default=128)
+    p.add_argument("--iterations", type=int, default=150)
+    p.add_argument("--out", default="mask.pgm")
+    p.set_defaults(func=cmd_ilt)
+
+    p = sub.add_parser("sraf", help="insert assist features into a clip")
+    p.add_argument("clip", help="target layout (.glp)")
+    p.add_argument("--width", type=float, default=24.0)
+    p.add_argument("--offset", type=float, default=80.0)
+    p.add_argument("--out", default="assisted.glp")
+    p.set_defaults(func=cmd_sraf)
+
+    p = sub.add_parser("flow", help="GAN-OPC flow with a trained generator")
+    p.add_argument("clip", help="target layout (.glp)")
+    p.add_argument("checkpoint", help="generator .npz checkpoint")
+    p.add_argument("--grid", type=int, default=128)
+    p.add_argument("--iterations", type=int, default=100)
+    p.add_argument("--out", default="mask.pgm")
+    p.set_defaults(func=cmd_flow)
+
+    p = sub.add_parser("table2", help="run the Table 2 experiment")
+    p.add_argument("--scale", choices=("quick", "medium", "full"),
+                   default="medium")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_table2)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""``repro.core`` — the GAN-OPC framework (the paper's contribution).
+
+* :mod:`generator` — auto-encoder mask generator (Section 3.1);
+* :mod:`discriminator` — target-mask **pair** discriminator plus the
+  conventional mask-only ablation (Section 3.2);
+* :mod:`gan_opc` — alternating adversarial training, Algorithm 1
+  (Section 3.3);
+* :mod:`pretrain` — ILT-guided generator pre-training, Algorithm 2
+  (Section 3.4), plus the ground-truth-regression strawman;
+* :mod:`flow` — inference + ILT refinement flow (Figure 6).
+"""
+
+from .config import GanOpcConfig
+from .discriminator import MaskOnlyDiscriminator, PairDiscriminator
+from .flow import FlowResult, GanOpcFlow
+from .gan_opc import GanOpcTrainer, TrainingHistory
+from .generator import MaskGenerator
+from .pretrain import (GroundTruthPretrainer, ILTGuidedPretrainer,
+                       PretrainHistory)
+from .unet import UNetMaskGenerator
+
+__all__ = [
+    "GanOpcConfig",
+    "MaskGenerator", "UNetMaskGenerator",
+    "PairDiscriminator", "MaskOnlyDiscriminator",
+    "GanOpcTrainer", "TrainingHistory",
+    "ILTGuidedPretrainer", "GroundTruthPretrainer", "PretrainHistory",
+    "GanOpcFlow", "FlowResult",
+]

@@ -1,0 +1,96 @@
+"""Configuration for the GAN-OPC networks and training flows.
+
+Collects every hyper-parameter of Sections 3.1-3.4 in one place.  The
+paper trains 256x256 inputs (2048 px clips pooled 8x8) for ~10 GPU
+hours; :meth:`GanOpcConfig.paper` records those settings, while
+:meth:`GanOpcConfig.small` scales the same architecture down for
+CPU-sized experiments (the default for tests and benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class GanOpcConfig:
+    """Hyper-parameters of the GAN-OPC model and training.
+
+    Attributes
+    ----------
+    grid:
+        Network input/output resolution (must match the litho grid and
+        be divisible by ``2 ** len(generator_channels)``).
+    generator_channels:
+        Encoder feature widths per downsampling level; the decoder
+        mirrors them.  Each level halves the spatial resolution.
+    discriminator_channels:
+        Feature widths of the discriminator's strided conv stack.
+    alpha:
+        Weight of the ``||M* - G(Z_t)||^2`` regression term in the
+        generator objective (Eq. 9 / line 7 of Algorithm 1); applied to
+        the per-pixel mean so it is resolution-independent.
+    learning_rate_g / learning_rate_d:
+        Adam learning rates for generator / discriminator.
+    pretrain_learning_rate:
+        Learning rate of the ILT-guided pre-training phase
+        (Algorithm 2).
+    batch_size:
+        Mini-batch size ``m`` in Algorithms 1 and 2.
+    discriminator_loss:
+        ``"paper"`` uses the literal Algorithm 1 line 8 objective
+        ``log D(fake) - log D(real)`` (with probability clamping);
+        ``"bce"`` uses the standard saturating GAN cross-entropy.  Both
+        drive ``D(fake) -> 0`` and ``D(real) -> 1``; the unbounded paper
+        objective saturates the discriminator quickly at CPU batch
+        sizes, so ``"bce"`` is the default (a stabilization documented
+        in DESIGN.md — the min-max structure of Eq. 10 is unchanged).
+    label_smoothing:
+        Real-label smoothing for discriminator stability (0 disables).
+    seed:
+        Seed for weight initialization and batch sampling.
+    """
+
+    grid: int = 256
+    generator_channels: Tuple[int, ...] = (16, 32, 64, 128)
+    discriminator_channels: Tuple[int, ...] = (16, 32, 64, 128)
+    alpha: float = 200.0
+    learning_rate_g: float = 1e-3
+    learning_rate_d: float = 2e-4
+    pretrain_learning_rate: float = 1e-3
+    batch_size: int = 4
+    discriminator_loss: str = "bce"
+    label_smoothing: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        factor = 2 ** len(self.generator_channels)
+        if self.grid % factor:
+            raise ValueError(
+                f"grid {self.grid} not divisible by the generator's total "
+                f"downsampling factor {factor}")
+        if self.alpha < 0:
+            raise ValueError("alpha must be nonnegative")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.discriminator_loss not in ("paper", "bce"):
+            raise ValueError(
+                f"unknown discriminator_loss {self.discriminator_loss!r}")
+        if not 0.0 <= self.label_smoothing < 0.5:
+            raise ValueError("label_smoothing must be in [0, 0.5)")
+        if min(self.learning_rate_g, self.learning_rate_d,
+               self.pretrain_learning_rate) <= 0:
+            raise ValueError("learning rates must be positive")
+
+    @staticmethod
+    def paper() -> "GanOpcConfig":
+        """Paper-scale settings (256 px, four downsampling levels)."""
+        return GanOpcConfig()
+
+    @staticmethod
+    def small(grid: int = 64) -> "GanOpcConfig":
+        """CPU-scale settings preserving the architecture shape."""
+        return GanOpcConfig(grid=grid,
+                            generator_channels=(8, 16, 32),
+                            discriminator_channels=(8, 16, 32))

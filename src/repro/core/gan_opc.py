@@ -1,0 +1,155 @@
+"""GAN-OPC adversarial training (Section 3.3, Algorithm 1).
+
+The min-max objective (Eq. 10) combines three terms:
+
+* generator adversarial term  ``-log D(Z_t, G(Z_t))``       (Eq. 7),
+* discriminator term ``log D(Z_t, M*)`` vs ``log D(Z_t, G)`` (Eq. 8),
+* generator regression term ``alpha * ||M* - G(Z_t)||^2``    (Eq. 9),
+
+trained alternately: each iteration samples a mini-batch of
+(target, reference-mask) pairs, updates the generator on Eq. 7 + Eq. 9,
+then updates the discriminator on Eq. 8.  As in the paper, the min-max
+problem is converted into two minimizations so both networks take plain
+gradient-descent steps.
+
+The ``l2_to_reference`` series of :class:`TrainingHistory` is the
+quantity plotted in Figure 7 (squared L2 between generator outputs and
+ground-truth masks versus training step).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..layoutgen.dataset import SyntheticDataset
+from .config import GanOpcConfig
+from .discriminator import PairDiscriminator
+from .generator import MaskGenerator
+
+_EPS = 1e-7
+
+
+@dataclass
+class TrainingHistory:
+    """Per-iteration training records (Figure 7 raw data)."""
+
+    generator_loss: List[float] = field(default_factory=list)
+    discriminator_loss: List[float] = field(default_factory=list)
+    l2_to_reference: List[float] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+
+    @property
+    def iterations(self) -> int:
+        return len(self.generator_loss)
+
+
+class GanOpcTrainer:
+    """Alternating generator/discriminator training (Algorithm 1).
+
+    Parameters
+    ----------
+    generator / discriminator:
+        Networks to train (modified in place).  Any discriminator with
+        the ``D(target, mask)`` interface works — the ablation passes a
+        :class:`~repro.core.discriminator.MaskOnlyDiscriminator`.
+    config:
+        Hyper-parameters; ``config.alpha`` weighs the regression term.
+    """
+
+    def __init__(self, generator: MaskGenerator,
+                 discriminator: PairDiscriminator,
+                 config: Optional[GanOpcConfig] = None):
+        self.generator = generator
+        self.discriminator = discriminator
+        self.config = config or GanOpcConfig()
+        self.optimizer_g = nn.Adam(generator.parameters(),
+                                   lr=self.config.learning_rate_g)
+        self.optimizer_d = nn.Adam(discriminator.parameters(),
+                                   lr=self.config.learning_rate_d)
+
+    # ------------------------------------------------------------------
+    def generator_step(self, targets: np.ndarray,
+                       reference_masks: np.ndarray) -> Tuple[float, float, np.ndarray]:
+        """Update G on ``-log D(Z_t, G(Z_t)) + alpha ||M* - G||^2``.
+
+        Returns ``(loss, l2_sum_per_image, fake_masks)`` — the fakes are
+        reused (detached) by the discriminator step, saving a forward
+        pass like line 5 of Algorithm 1.
+        """
+        target_t = nn.Tensor(targets)
+        reference_t = nn.Tensor(reference_masks)
+
+        self.optimizer_g.zero_grad()
+        self.discriminator.zero_grad()
+        fake = self.generator(target_t)
+        d_fake = self.discriminator(target_t, fake)
+        adversarial = nn.bce_loss(d_fake, nn.ones(d_fake.shape))
+        regression = nn.mse_loss(fake, reference_t, reduction="mean")
+        loss = adversarial + self.config.alpha * regression
+        loss.backward()
+        self.optimizer_g.step()
+
+        diff = fake.data - reference_masks
+        l2_sum = float(np.sum(diff * diff) / len(targets))
+        return float(loss.data), l2_sum, fake.data
+
+    def discriminator_step(self, targets: np.ndarray,
+                           reference_masks: np.ndarray,
+                           fake_masks: np.ndarray) -> float:
+        """Update D on Eq. 8 (paper objective) or standard BCE."""
+        target_t = nn.Tensor(targets)
+
+        self.optimizer_d.zero_grad()
+        self.generator.zero_grad()
+        d_fake = self.discriminator(target_t, nn.Tensor(fake_masks))
+        d_real = self.discriminator(target_t, nn.Tensor(reference_masks))
+
+        if self.config.discriminator_loss == "paper":
+            # Literal Algorithm 1 line 8, clamped for finiteness:
+            # l_d = log D(fake) - log D(real).
+            loss = (d_fake.clip(_EPS, 1.0).log().mean()
+                    - d_real.clip(_EPS, 1.0).log().mean())
+        else:
+            real_label = 1.0 - self.config.label_smoothing
+            loss = (nn.bce_loss(d_fake, nn.zeros(d_fake.shape))
+                    + nn.bce_loss(d_real, nn.full(d_real.shape, real_label)))
+        loss.backward()
+        self.optimizer_d.step()
+        return float(loss.data)
+
+    def train_iteration(self, targets: np.ndarray,
+                        reference_masks: np.ndarray) -> Tuple[float, float, float]:
+        """One Algorithm 1 iteration; returns ``(l_g, l_d, l2)``."""
+        loss_g, l2_sum, fake = self.generator_step(targets, reference_masks)
+        loss_d = self.discriminator_step(targets, reference_masks, fake)
+        return loss_g, loss_d, l2_sum
+
+    # ------------------------------------------------------------------
+    def train(self, dataset: SyntheticDataset, iterations: int,
+              rng: Optional[np.random.Generator] = None,
+              verbose: bool = False) -> TrainingHistory:
+        """Run adversarial training, sampling mini-batches of
+        (target, reference-mask) pairs from the dataset."""
+        rng = rng or np.random.default_rng(self.config.seed)
+        history = TrainingHistory()
+        start = time.perf_counter()
+        self.generator.train()
+        self.discriminator.train()
+        for iteration in range(iterations):
+            indices = rng.choice(len(dataset), size=self.config.batch_size,
+                                 replace=len(dataset) < self.config.batch_size)
+            targets, masks = dataset.pairs_batch(indices)
+            loss_g, loss_d, l2_sum = self.train_iteration(targets, masks)
+            history.generator_loss.append(loss_g)
+            history.discriminator_loss.append(loss_d)
+            history.l2_to_reference.append(l2_sum)
+            if verbose and (iteration + 1) % 10 == 0:
+                print(f"[gan {iteration + 1}/{iterations}] "
+                      f"l_g {loss_g:.3f} l_d {loss_d:.3f} l2 {l2_sum:.1f}")
+        history.runtime_seconds = time.perf_counter() - start
+        return history

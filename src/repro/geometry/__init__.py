@@ -1,0 +1,21 @@
+"""``repro.geometry`` — rectilinear layout geometry substrate.
+
+Shapes and clips (:mod:`shapes`, :mod:`layout`), rasterization and the
+paper's pooling/interpolation resolution bridge (:mod:`raster`), the
+Table 1 design rules with a checker (:mod:`design_rules`), and a plain
+text clip format (:mod:`glp`).
+"""
+
+from . import glp
+from .design_rules import DesignRuleChecker, DesignRules, RuleViolation
+from .layout import Layout
+from .raster import (average_pool, bilinear_upsample, binarize, rasterize)
+from .shapes import Rect, bounding_box, union_area
+
+__all__ = [
+    "Rect", "union_area", "bounding_box",
+    "Layout",
+    "rasterize", "average_pool", "bilinear_upsample", "binarize",
+    "DesignRules", "DesignRuleChecker", "RuleViolation",
+    "glp",
+]

@@ -1,0 +1,132 @@
+"""Design rules (Table 1 of the paper) and a rule checker.
+
+The synthetic training library is generated "based on simple design
+rules" (Section 4); Table 1 lists them for the 32 nm M1 layer:
+
+    M1 critical dimension (min size)   80 nm
+    Pitch                             140 nm
+    Tip-to-tip distance                60 nm
+
+The derived minimum side-to-side spacing is ``pitch - cd = 60 nm``.
+:class:`DesignRuleChecker` validates generated clips against the rules,
+distinguishing tip-to-tip (facing line ends) from side spacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .layout import Layout
+from .shapes import Rect
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Minimum-dimension rules for a metal layer (Table 1), in nm."""
+
+    critical_dimension: float = 80.0
+    pitch: float = 140.0
+    tip_to_tip: float = 60.0
+
+    def __post_init__(self):
+        if min(self.critical_dimension, self.pitch, self.tip_to_tip) <= 0:
+            raise ValueError("all design rules must be positive")
+        if self.pitch <= self.critical_dimension:
+            raise ValueError(
+                f"pitch {self.pitch} must exceed critical dimension "
+                f"{self.critical_dimension}")
+
+    @property
+    def spacing(self) -> float:
+        """Minimum side-to-side spacing between parallel wires."""
+        return self.pitch - self.critical_dimension
+
+    @staticmethod
+    def iccad32nm() -> "DesignRules":
+        """The paper's Table 1 rule set."""
+        return DesignRules(critical_dimension=80.0, pitch=140.0, tip_to_tip=60.0)
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """A single design-rule violation found by the checker.
+
+    ``kind`` is one of ``"width"``, ``"spacing"``, ``"tip_to_tip"``.
+    """
+
+    kind: str
+    measured: float
+    required: float
+    rect_index: int
+    other_index: int = -1
+
+    def __str__(self) -> str:
+        where = (f"rect {self.rect_index}" if self.other_index < 0
+                 else f"rects {self.rect_index}/{self.other_index}")
+        return (f"{self.kind} violation at {where}: measured "
+                f"{self.measured:.1f} nm < required {self.required:.1f} nm")
+
+
+class DesignRuleChecker:
+    """Checks a :class:`Layout` against :class:`DesignRules`.
+
+    Touching/overlapping rects are treated as the same net (a jog or an
+    L-shape) and are exempt from spacing checks against each other.
+    """
+
+    def __init__(self, rules: DesignRules):
+        self.rules = rules
+
+    def check_width(self, layout: Layout) -> List[RuleViolation]:
+        """Every shape's narrow side must meet the critical dimension."""
+        eps = 1e-6
+        return [
+            RuleViolation("width", rect.min_dimension,
+                          self.rules.critical_dimension, i)
+            for i, rect in enumerate(layout.rects)
+            if rect.min_dimension < self.rules.critical_dimension - eps
+        ]
+
+    def check_spacing(self, layout: Layout) -> List[RuleViolation]:
+        """Pairwise spacing: tip-to-tip along the run direction between
+        collinear wires, side spacing otherwise."""
+        violations: List[RuleViolation] = []
+        rects = layout.rects
+        eps = 1e-6
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                a, b = rects[i], rects[j]
+                if a.touches(b):
+                    continue  # same net
+                dx, dy = a.axis_gaps(b)
+                if self._is_tip_to_tip(a, b):
+                    required = self.rules.tip_to_tip
+                    measured = dx if a.is_horizontal else dy
+                    kind = "tip_to_tip"
+                else:
+                    required = self.rules.spacing
+                    measured = a.gap(b)
+                    kind = "spacing"
+                if measured < required - eps:
+                    violations.append(
+                        RuleViolation(kind, measured, required, i, j))
+        return violations
+
+    def check(self, layout: Layout) -> List[RuleViolation]:
+        """All rule checks combined."""
+        return self.check_width(layout) + self.check_spacing(layout)
+
+    def is_clean(self, layout: Layout) -> bool:
+        return not self.check(layout)
+
+    @staticmethod
+    def _is_tip_to_tip(a: Rect, b: Rect) -> bool:
+        """Facing line ends: same orientation, gap along the run
+        direction, and overlapping projections across it."""
+        if a.is_horizontal != b.is_horizontal:
+            return False
+        dx, dy = a.axis_gaps(b)
+        if a.is_horizontal:
+            return dx > 0 and dy == 0.0
+        return dy > 0 and dx == 0.0

@@ -1,0 +1,89 @@
+"""Plain-text layout clip I/O.
+
+A minimal, line-oriented format in the spirit of the ICCAD-2013
+contest's ``.glp`` clip files, so synthetic benchmarks can be saved,
+inspected and reloaded::
+
+    CLIP <name> <extent_nm>
+    RECT <x0> <y0> <x1> <y1>
+    ...
+    END
+
+Blank lines and ``#`` comments are ignored.  Coordinates are nm floats.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, TextIO, Union
+
+from .layout import Layout
+from .shapes import Rect
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+def dumps(layout: Layout) -> str:
+    """Serialize a layout to the text format."""
+    name = layout.name or "clip"
+    lines = [f"CLIP {name} {layout.extent:.12g}"]
+    lines.extend(
+        f"RECT {r.x0:.12g} {r.y0:.12g} {r.x1:.12g} {r.y1:.12g}"
+        for r in layout.rects)
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Layout:
+    """Parse a layout from the text format."""
+    layout: Layout = None
+    ended = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ended:
+            raise ValueError(f"line {line_no}: content after END")
+        tokens = line.split()
+        keyword = tokens[0].upper()
+        if keyword == "CLIP":
+            if layout is not None:
+                raise ValueError(f"line {line_no}: duplicate CLIP header")
+            if len(tokens) != 3:
+                raise ValueError(f"line {line_no}: CLIP needs name and extent")
+            layout = Layout(extent=float(tokens[2]), name=tokens[1])
+        elif keyword == "RECT":
+            if layout is None:
+                raise ValueError(f"line {line_no}: RECT before CLIP header")
+            if len(tokens) != 5:
+                raise ValueError(f"line {line_no}: RECT needs 4 coordinates")
+            x0, y0, x1, y1 = (float(t) for t in tokens[1:])
+            layout.add(Rect(x0, y0, x1, y1))
+        elif keyword == "END":
+            if layout is None:
+                raise ValueError(f"line {line_no}: END before CLIP header")
+            ended = True
+        else:
+            raise ValueError(f"line {line_no}: unknown keyword {tokens[0]!r}")
+    if layout is None:
+        raise ValueError("no CLIP header found")
+    if not ended:
+        raise ValueError("missing END")
+    return layout
+
+
+def save(layout: Layout, path: PathOrFile) -> None:
+    """Write a layout to a file path or file object."""
+    if hasattr(path, "write"):
+        path.write(dumps(layout))
+        return
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(dumps(layout))
+
+
+def load(path: PathOrFile) -> Layout:
+    """Read a layout from a file path or file object."""
+    if hasattr(path, "read"):
+        return loads(path.read())
+    with open(path, "r", encoding="ascii") as handle:
+        return loads(handle.read())

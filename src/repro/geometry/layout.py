@@ -1,0 +1,97 @@
+"""Layout clips: a window plus the rectilinear shapes inside it.
+
+A :class:`Layout` is the unit the whole flow operates on — the "target
+clip" ``Z_t`` of the paper.  It owns a square window (in nm) and a list
+of :class:`~repro.geometry.shapes.Rect` patterns, and knows how to
+measure itself (union pattern area, as reported in Table 2's "Area"
+column) and validate that shapes stay inside the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from .shapes import Rect, bounding_box, union_area
+
+
+@dataclass
+class Layout:
+    """A square layout clip.
+
+    Attributes
+    ----------
+    extent:
+        Side length of the clip window in nm; the window spans
+        ``[0, extent) x [0, extent)``.
+    rects:
+        Pattern shapes (may overlap; overlaps merge on raster/union).
+    name:
+        Optional clip identifier (benchmark ids like ``"iccad13-01"``).
+    """
+
+    extent: float
+    rects: List[Rect] = field(default_factory=list)
+    name: Optional[str] = None
+
+    def __post_init__(self):
+        if self.extent <= 0:
+            raise ValueError(f"extent must be positive, got {self.extent}")
+        self.rects = list(self.rects)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Rect]:
+        return iter(self.rects)
+
+    def __len__(self) -> int:
+        return len(self.rects)
+
+    @property
+    def window(self) -> Rect:
+        return Rect(0.0, 0.0, self.extent, self.extent)
+
+    @property
+    def pattern_area(self) -> float:
+        """Union area of all shapes in nm^2 (Table 2 "Area" column)."""
+        return union_area(self.rects)
+
+    @property
+    def density(self) -> float:
+        """Pattern area as a fraction of the window area."""
+        return self.pattern_area / (self.extent * self.extent)
+
+    # ------------------------------------------------------------------
+    def add(self, rect: Rect) -> None:
+        """Append a shape (must fit in the window)."""
+        if not self.window.contains_rect(rect):
+            raise ValueError(f"rect {rect} exceeds window {self.window}")
+        self.rects.append(rect)
+
+    def extend(self, rects: Iterable[Rect]) -> None:
+        for rect in rects:
+            self.add(rect)
+
+    def validate(self) -> None:
+        """Raise if any shape leaves the window."""
+        for rect in self.rects:
+            if not self.window.contains_rect(rect):
+                raise ValueError(f"rect {rect} exceeds window {self.window}")
+
+    def bounding_box(self) -> Rect:
+        return bounding_box(self.rects)
+
+    def scaled(self, factor: float) -> "Layout":
+        """Uniformly scale window and shapes (resolution bridging)."""
+        return Layout(extent=self.extent * factor,
+                      rects=[r.scaled(factor) for r in self.rects],
+                      name=self.name)
+
+    def translated_into_window(self) -> "Layout":
+        """Shift shapes so the pattern bounding box is centered."""
+        box = self.bounding_box()
+        cx, cy = box.center
+        dx = self.extent / 2.0 - cx
+        dy = self.extent / 2.0 - cy
+        return Layout(extent=self.extent,
+                      rects=[r.translated(dx, dy) for r in self.rects],
+                      name=self.name)

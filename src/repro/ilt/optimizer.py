@@ -1,0 +1,260 @@
+"""Steepest-descent inverse lithography (the paper's baseline [7] and
+the refinement stage of the GAN-OPC flow, Fig. 6).
+
+The optimizer walks the unconstrained mask parameters ``M`` down the
+relaxed lithography error (Eqs. 11-14), periodically binarizing and
+re-simulating to track the best *discrete* mask seen — the quantity
+Table 2 reports.  Two modes matter to the reproduction:
+
+* **from scratch** (``initial_mask=None``): parameters start from the
+  target polygons, which is how the MOSAIC-style baseline column of
+  Table 2 is produced;
+* **refinement** (``initial_mask=G(Z_t)``): parameters start from the
+  generator's quasi-optimal mask; the paper's headline result is that
+  this warm start both converges in far fewer iterations (~0.5x runtime)
+  and reaches lower L2.
+
+Optionally a process-window term adds the dose-corner errors to the
+objective (``pvb_weight > 0``), mirroring MOSAIC's process-window-aware
+correction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..litho.config import LithoConfig
+from ..litho.kernels import KernelSet, build_kernels
+from ..litho.resist import binarize_mask, hard_resist, sigmoid_mask
+from .gradient import discrete_l2, litho_error_and_gradient
+
+
+@dataclass(frozen=True)
+class ILTConfig:
+    """Hyper-parameters of the steepest-descent ILT engine.
+
+    Attributes
+    ----------
+    max_iterations:
+        Upper bound on gradient steps.
+    step_size:
+        Learning rate of the parameter update.
+    momentum:
+        Heavy-ball momentum coefficient (0 disables).
+    init_scale:
+        Magnitude of the initial parameters: ``M_0 = init_scale *
+        (2 Z_t - 1)`` maps target/background to +/-init_scale.
+    eval_interval:
+        Every this many iterations the mask is binarized, re-simulated
+        with the *hard* resist and scored; the best discrete mask is
+        retained (ILT progress is not monotone in the discrete metric).
+    stop_l2:
+        Early stop once the discrete L2 falls at or below this value
+        (None disables).
+    patience:
+        Early stop when the best discrete L2 has not improved for this
+        many evaluations (None disables).
+    pvb_weight:
+        Weight of the dose-corner error terms; 0 reproduces nominal-only
+        optimization (what the paper's flow uses).
+    """
+
+    max_iterations: int = 200
+    step_size: float = 1.0
+    momentum: float = 0.9
+    init_scale: float = 1.0
+    eval_interval: int = 5
+    stop_l2: Optional[float] = None
+    patience: Optional[int] = 10
+    pvb_weight: float = 0.0
+
+    def __post_init__(self):
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if self.eval_interval < 1:
+            raise ValueError("eval_interval must be >= 1")
+        if self.pvb_weight < 0:
+            raise ValueError("pvb_weight must be nonnegative")
+
+
+@dataclass
+class ILTResult:
+    """Outcome of an ILT run.
+
+    Attributes
+    ----------
+    mask:
+        Best binary mask found (by discrete nominal L2).
+    mask_relaxed:
+        Relaxed mask image at the final iteration.
+    params:
+        Final unconstrained parameters (useful to resume).
+    l2:
+        Discrete squared-L2 error of :attr:`mask` (Definition 1),
+        in pixels; multiply by ``pixel_area_nm2`` for nm^2.
+    relaxed_history:
+        Relaxed error ``E`` per iteration (the ILT training curve).
+    l2_history:
+        Discrete L2 at each evaluation point.
+    iterations:
+        Gradient steps actually executed.
+    runtime_seconds:
+        Wall-clock time of the optimization loop.
+    converged:
+        True when an early-stop criterion fired before the iteration cap.
+    """
+
+    mask: np.ndarray
+    mask_relaxed: np.ndarray
+    params: np.ndarray
+    l2: float
+    relaxed_history: List[float] = field(default_factory=list)
+    l2_history: List[float] = field(default_factory=list)
+    iterations: int = 0
+    runtime_seconds: float = 0.0
+    converged: bool = False
+
+
+class ILTOptimizer:
+    """Pixel-based mask optimizer via steepest descent on Eq. 11.
+
+    Parameters
+    ----------
+    litho_config:
+        Lithography model configuration.
+    config:
+        Optimizer hyper-parameters.
+    kernels:
+        Optional prebuilt kernel set (otherwise built and cached).
+    """
+
+    def __init__(self, litho_config: Optional[LithoConfig] = None,
+                 config: Optional[ILTConfig] = None,
+                 kernels: Optional[KernelSet] = None):
+        self.litho_config = litho_config or LithoConfig.paper()
+        self.config = config or ILTConfig()
+        self.kernels = kernels or build_kernels(self.litho_config)
+
+    # ------------------------------------------------------------------
+    def initial_params(self, target: np.ndarray,
+                       initial_mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Build starting parameters from the target or a warm-start mask.
+
+        A warm-start mask (the generator output in the GAN-OPC flow) is
+        mapped through the logit so that ``sigmoid(beta * M_0)``
+        reproduces it; values are clipped away from {0, 1} to keep the
+        logit finite.
+        """
+        scale = self.config.init_scale
+        if initial_mask is None:
+            return scale * (2.0 * np.asarray(target, dtype=float) - 1.0)
+        mask = np.clip(np.asarray(initial_mask, dtype=float), 1e-3, 1.0 - 1e-3)
+        return np.log(mask / (1.0 - mask)) / self.litho_config.mask_steepness
+
+    # ------------------------------------------------------------------
+    def _objective_gradient(self, params: np.ndarray, target: np.ndarray):
+        cfg = self.litho_config
+        error, grad = litho_error_and_gradient(
+            params, target, self.kernels, cfg.threshold,
+            cfg.resist_steepness, cfg.mask_steepness)
+        if self.config.pvb_weight > 0.0:
+            for dose in (1.0 - cfg.dose_variation, 1.0 + cfg.dose_variation):
+                corner_error, corner_grad = litho_error_and_gradient(
+                    params, target, self.kernels, cfg.threshold,
+                    cfg.resist_steepness, cfg.mask_steepness, dose=dose)
+                error += self.config.pvb_weight * corner_error
+                grad = grad + self.config.pvb_weight * corner_grad
+        return error, grad
+
+    def _discrete_score(self, params: np.ndarray, target: np.ndarray):
+        mask = binarize_mask(sigmoid_mask(params, self.litho_config.mask_steepness))
+        spectrum = np.fft.fft2(mask)
+        fields = np.fft.ifft2(spectrum[None] * self.kernels.freq_kernels,
+                              axes=(-2, -1))
+        intensity = np.einsum("k,kxy->xy", self.kernels.weights,
+                              np.abs(fields) ** 2)
+        wafer = hard_resist(intensity, self.litho_config.threshold)
+        return mask, discrete_l2(wafer, target)
+
+    # ------------------------------------------------------------------
+    def optimize(self, target: np.ndarray,
+                 initial_mask: Optional[np.ndarray] = None,
+                 max_iterations: Optional[int] = None) -> ILTResult:
+        """Run ILT on ``target``; see the module docstring for modes.
+
+        Parameters
+        ----------
+        target:
+            Binary target image ``Z_t`` on the simulator grid.
+        initial_mask:
+            Optional warm-start mask in [0, 1] (GAN-OPC refinement).
+        max_iterations:
+            Override of ``config.max_iterations`` for this call.
+        """
+        target = np.asarray(target, dtype=float)
+        if target.shape != (self.litho_config.grid,) * 2:
+            raise ValueError(
+                f"target shape {target.shape} does not match simulator grid "
+                f"{self.litho_config.grid}")
+        cfg = self.config
+        iterations = max_iterations or cfg.max_iterations
+
+        start = time.perf_counter()
+        params = self.initial_params(target, initial_mask)
+        velocity = np.zeros_like(params)
+
+        best_mask, best_l2 = self._discrete_score(params, target)
+        relaxed_history: List[float] = []
+        l2_history: List[float] = [best_l2]
+        stall = 0
+        converged = False
+        step = 0
+
+        for step in range(1, iterations + 1):
+            error, grad = self._objective_gradient(params, target)
+            relaxed_history.append(error)
+            velocity = cfg.momentum * velocity - cfg.step_size * grad
+            params = params + velocity
+
+            if step % cfg.eval_interval == 0 or step == iterations:
+                mask, l2 = self._discrete_score(params, target)
+                l2_history.append(l2)
+                if l2 < best_l2:
+                    best_l2 = l2
+                    best_mask = mask
+                    stall = 0
+                else:
+                    stall += 1
+                if cfg.stop_l2 is not None and best_l2 <= cfg.stop_l2:
+                    converged = True
+                    break
+                if cfg.patience is not None and stall >= cfg.patience:
+                    converged = True
+                    break
+
+        runtime = time.perf_counter() - start
+        return ILTResult(
+            mask=best_mask,
+            mask_relaxed=sigmoid_mask(params, self.litho_config.mask_steepness),
+            params=params,
+            l2=best_l2,
+            relaxed_history=relaxed_history,
+            l2_history=l2_history,
+            iterations=step,
+            runtime_seconds=runtime,
+            converged=converged,
+        )
+
+    def refine(self, target: np.ndarray, initial_mask: np.ndarray,
+               max_iterations: int = 20) -> ILTResult:
+        """Few-step ILT refinement from a quasi-optimal mask (Fig. 6)."""
+        return self.optimize(target, initial_mask=initial_mask,
+                             max_iterations=max_iterations)

@@ -1,0 +1,12 @@
+"""``repro.layoutgen`` — synthetic training-layout library (Section 4).
+
+Rule-driven random M1 topology synthesis under the Table 1 design rules
+(:mod:`topology`) and target/reference-mask dataset assembly with ILT
+ground truth (:mod:`dataset`).
+"""
+
+from .dataset import SyntheticDataset, TargetMaskPair
+from .topology import LayoutSynthesizer, TopologyConfig
+
+__all__ = ["TopologyConfig", "LayoutSynthesizer",
+           "SyntheticDataset", "TargetMaskPair"]

@@ -1,0 +1,33 @@
+"""``repro.litho`` — Hopkins partially-coherent lithography simulation.
+
+Reproduces the imaging substrate of the paper (Eqs. 1-3, 12): an SVD
+coherent-kernel decomposition of the Hopkins model (24 kernels, like the
+ICCAD-2013 ``lithosim_v4`` engine the paper uses), FFT aerial imaging,
+and constant-threshold / sigmoid resist models, plus dose corners for
+process-variation-band evaluation.
+"""
+
+from .aerial import (aerial_image, aerial_image_and_fields, mask_fields,
+                     mask_spectrum)
+from .config import LithoConfig, OpticsConfig
+from .kernels import (KernelSet, build_kernels, clear_cache, load_kernels,
+                      save_kernels)
+from .pupil import frequency_grid, pupil_function
+from .resist import (binarize_mask, hard_resist, sigmoid_mask,
+                     sigmoid_resist)
+from .simulator import LithoSimulator, ProcessCorners
+from .source import source_map, source_points
+from .window import (ProcessWindow, depth_of_focus, exposure_latitude,
+                     process_window_matrix)
+
+__all__ = [
+    "OpticsConfig", "LithoConfig",
+    "KernelSet", "build_kernels", "clear_cache", "save_kernels",
+    "load_kernels",
+    "frequency_grid", "pupil_function", "source_points", "source_map",
+    "mask_spectrum", "mask_fields", "aerial_image", "aerial_image_and_fields",
+    "hard_resist", "sigmoid_resist", "sigmoid_mask", "binarize_mask",
+    "LithoSimulator", "ProcessCorners",
+    "ProcessWindow", "process_window_matrix", "exposure_latitude",
+    "depth_of_focus",
+]

@@ -1,0 +1,59 @@
+"""Projection pupil models.
+
+The pupil is an ideal circular low-pass filter of radius ``NA/lambda``
+in spatial frequency, optionally carrying a quadratic defocus phase.
+Everything is evaluated on the FFT frequency grid of the simulation
+raster so kernels built from it convolve masks without resampling.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .config import OpticsConfig
+
+
+def frequency_grid(grid: int, pixel_nm: float) -> Tuple[np.ndarray, np.ndarray]:
+    """FFT frequency coordinates (1/nm) for a ``grid x grid`` raster.
+
+    Returns ``(fx, fy)`` arrays of shape ``(grid, grid)`` in standard
+    (unshifted) numpy FFT layout.
+    """
+    freqs = np.fft.fftfreq(grid, d=pixel_nm)
+    return np.meshgrid(freqs, freqs, indexing="ij")
+
+
+def pupil_function(optics: OpticsConfig, fx: np.ndarray, fy: np.ndarray,
+                   shift: Tuple[float, float] = (0.0, 0.0)) -> np.ndarray:
+    """Evaluate the (possibly shifted) pupil on a frequency grid.
+
+    Parameters
+    ----------
+    optics:
+        Optical system parameters.
+    fx, fy:
+        Spatial-frequency coordinates in 1/nm.
+    shift:
+        Source-point offset in pupil-normalized units; Hopkins imaging
+        evaluates ``P(f + f_s)`` for each source point ``f_s``.
+
+    Returns
+    -------
+    Complex pupil transmission (0 outside the NA circle; defocus phase
+    inside when ``optics.defocus`` is nonzero).
+    """
+    f_max = optics.na / optics.wavelength
+    gx = fx + shift[0] * f_max
+    gy = fy + shift[1] * f_max
+    rho2 = (gx ** 2 + gy ** 2) / (f_max ** 2)
+    inside = rho2 <= 1.0 + 1e-12
+    if optics.defocus == 0.0:
+        return inside.astype(complex)
+    # Quadratic defocus aberration: phase = pi * defocus * lambda * f^2
+    # (paraxial approximation, adequate for small defocus).
+    phase = np.pi * optics.defocus * optics.wavelength * (gx ** 2 + gy ** 2)
+    pupil = np.exp(1j * phase)
+    pupil[~inside] = 0.0
+    return pupil

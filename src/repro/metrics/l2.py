@@ -1,0 +1,28 @@
+"""Squared L2 wafer-image error (Definition 1 of the paper).
+
+The paper's primary mask-quality metric: ``||Z_t - Z||_2^2`` over
+flattened binary images.  For binary images this equals the XOR pixel
+count, i.e. the mismatched printed area; Table 2 reports it in nm^2
+(pixel count scaled by pixel area).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def squared_l2(wafer: np.ndarray, target: np.ndarray) -> float:
+    """Squared L2 error in pixel units."""
+    wafer = np.asarray(wafer, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if wafer.shape != target.shape:
+        raise ValueError(
+            f"shape mismatch: wafer {wafer.shape} vs target {target.shape}")
+    diff = wafer - target
+    return float(np.sum(diff * diff))
+
+
+def squared_l2_nm2(wafer: np.ndarray, target: np.ndarray,
+                   pixel_nm: float) -> float:
+    """Squared L2 error in nm^2 (Table 2 units)."""
+    return squared_l2(wafer, target) * pixel_nm * pixel_nm

@@ -1,0 +1,55 @@
+"""``repro.nn`` — a from-scratch neural-network substrate on numpy.
+
+The paper implements GAN-OPC on TensorFlow + GPU; this environment has
+neither, so the framework itself is reproduced: reverse-mode autograd
+(:mod:`repro.nn.tensor`), convolutional primitives
+(:mod:`repro.nn.functional`), a module/layer system
+(:mod:`repro.nn.modules`), optimizers (:mod:`repro.nn.optim`) and
+checkpointing (:mod:`repro.nn.serialization`).
+
+Quick example::
+
+    import numpy as np
+    from repro import nn
+
+    net = nn.Sequential(
+        nn.Conv2d(1, 4, 3, padding=1), nn.ReLU(),
+        nn.Conv2d(4, 1, 3, padding=1), nn.Sigmoid(),
+    )
+    opt = nn.Adam(net.parameters(), lr=1e-3)
+    x = nn.Tensor(np.random.rand(2, 1, 16, 16))
+    loss = nn.functional.mse_loss(net(x), x)
+    loss.backward()
+    opt.step()
+"""
+
+from . import functional
+from . import init
+from . import utils
+from .functional import (avg_pool2d, bce_loss, bce_with_logits, conv2d,
+                         conv_transpose2d, l1_loss, linear, max_pool2d,
+                         mse_loss, softmax, upsample_nearest2d)
+from .modules import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d,
+                      ConvTranspose2d, Dropout, Flatten, LeakyReLU, Linear,
+                      MaxPool2d, Module, Parameter, ReLU, Sequential,
+                      Sigmoid, Tanh, UpsampleNearest2d)
+from .optim import SGD, Adam, ExponentialLR, Optimizer, StepLR
+from .serialization import load_state, save_state
+from .tensor import (Tensor, concatenate, full, is_grad_enabled, maximum,
+                     no_grad, ones, pad2d, stack, where, zeros)
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled",
+    "zeros", "ones", "full", "concatenate", "stack", "where", "maximum",
+    "pad2d",
+    "functional", "init", "utils",
+    "conv2d", "conv_transpose2d", "linear", "avg_pool2d", "max_pool2d",
+    "upsample_nearest2d", "mse_loss", "l1_loss", "bce_loss",
+    "bce_with_logits", "softmax",
+    "Module", "Parameter", "Sequential", "Linear", "Conv2d",
+    "ConvTranspose2d", "BatchNorm1d", "BatchNorm2d", "ReLU", "LeakyReLU",
+    "Sigmoid", "Tanh", "Flatten", "AvgPool2d", "MaxPool2d",
+    "UpsampleNearest2d", "Dropout",
+    "Optimizer", "SGD", "Adam", "StepLR", "ExponentialLR",
+    "save_state", "load_state",
+]

@@ -1,0 +1,373 @@
+"""Neural-network functional operations for the ``repro.nn`` substrate.
+
+Implements the convolutional primitives the GAN-OPC generator (stacked
+conv encoder + deconv decoder, Figure 4 of the paper) and discriminator
+are built from, plus the pooling / interpolation operations the paper's
+resolution bridge uses (8x8 average pooling before the network, linear
+interpolation after — Section 4).
+
+Convolutions are computed with im2col/col2im lowering so that both the
+forward pass and all three backward products (input, weight, bias) are
+single BLAS calls — the only way a pure-numpy CNN trains in reasonable
+time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+# ----------------------------------------------------------------------
+# im2col / col2im
+# ----------------------------------------------------------------------
+def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
+           padding: Tuple[int, int]) -> np.ndarray:
+    """Lower image patches to columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel, stride, padding:
+        Spatial convolution geometry.
+
+    Returns
+    -------
+    ndarray of shape ``(N, C * KH * KW, OH * OW)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"convolution output would be empty: input {h}x{w}, "
+            f"kernel {kh}x{kw}, stride {sh}x{sw}, padding {ph}x{pw}")
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    sn, sc, sh_, sw_ = x.strides
+    shape = (n, c, kh, kw, oh, ow)
+    strides = (sn, sc, sh_, sw_, sh_ * sh, sw_ * sw)
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    return patches.reshape(n, c * kh * kw, oh * ow) if patches.flags.c_contiguous \
+        else np.ascontiguousarray(patches).reshape(n, c * kh * kw, oh * ow)
+
+
+def col2im(cols: np.ndarray, image_shape: Tuple[int, int, int, int],
+           kernel: Tuple[int, int], stride: Tuple[int, int],
+           padding: Tuple[int, int]) -> np.ndarray:
+    """Scatter-add columns back into an image (adjoint of :func:`im2col`)."""
+    n, c, h, w = image_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    for i in range(kh):
+        h_end = i + sh * oh
+        for j in range(kw):
+            w_end = j + sw * ow
+            padded[:, :, i:h_end:sh, j:w_end:sw] += cols[:, :, i, j]
+    if ph or pw:
+        return padded[:, :, ph:h + ph, pw:w + pw]
+    return padded
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: IntPair = 1, padding: IntPair = 0) -> Tensor:
+    """2-D cross-correlation over NCHW input.
+
+    ``weight`` has shape ``(out_channels, in_channels, KH, KW)``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    f, c_w, kh, kw = weight.shape
+    if c != c_w:
+        raise ValueError(f"input channels {c} != weight channels {c_w}")
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*KH*KW, L)
+    w_flat = weight.data.reshape(f, -1)               # (F, C*KH*KW)
+    out = w_flat @ cols                               # (N, F, L)
+    oh = (h + 2 * padding[0] - kh) // stride[0] + 1
+    ow = (w + 2 * padding[1] - kw) // stride[1] + 1
+    out = out.reshape(n, f, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad_flat = grad.reshape(n, f, -1)                     # (N, F, L)
+        grad_w = np.einsum("nfl,nkl->fk", grad_flat, cols)     # (F, C*KH*KW)
+        grad_cols = np.einsum("fk,nfl->nkl", w_flat, grad_flat)
+        grad_x = col2im(grad_cols, (n, c, h, w), (kh, kw), stride, padding)
+        grads = [grad_x, grad_w.reshape(weight.shape)]
+        if bias is not None:
+            grads.append(grad.sum(axis=(0, 2, 3)))
+        return tuple(grads)
+
+    return Tensor._make(out, parents, backward)
+
+
+def conv_transpose2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+                     stride: IntPair = 1, padding: IntPair = 0,
+                     output_padding: IntPair = 0) -> Tensor:
+    """2-D transposed convolution (deconvolution).
+
+    ``weight`` has shape ``(in_channels, out_channels, KH, KW)`` following
+    the PyTorch convention; the forward pass of this op is the gradient of
+    :func:`conv2d` with respect to its input, which is exactly the
+    "decoder operates in an opposite way" architecture of the paper's
+    generator (Section 3.1).
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    output_padding = _pair(output_padding)
+    n, c, h, w = x.shape
+    c_w, f, kh, kw = weight.shape
+    if c != c_w:
+        raise ValueError(f"input channels {c} != weight channels {c_w}")
+    oh = (h - 1) * stride[0] - 2 * padding[0] + kh + output_padding[0]
+    ow = (w - 1) * stride[1] - 2 * padding[1] + kw + output_padding[1]
+
+    w_flat = weight.data.reshape(c, f * kh * kw)               # (C, F*KH*KW)
+    x_flat = x.data.reshape(n, c, h * w)                       # (N, C, L)
+    cols = np.einsum("ck,ncl->nkl", w_flat, x_flat)            # (N, F*KH*KW, L)
+    out = col2im(cols, (n, f, oh, ow), (kh, kw), stride, padding)
+    if bias is not None:
+        out = out + bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad_cols = im2col(grad, (kh, kw), stride, padding)    # (N, F*KH*KW, L)
+        grad_x = np.einsum("ck,nkl->ncl", w_flat, grad_cols).reshape(n, c, h, w)
+        grad_w = np.einsum("ncl,nkl->ck", x_flat, grad_cols).reshape(weight.shape)
+        grads = [grad_x, grad_w]
+        if bias is not None:
+            grads.append(grad.sum(axis=(0, 2, 3)))
+        return tuple(grads)
+
+    return Tensor._make(out, parents, backward)
+
+
+# ----------------------------------------------------------------------
+# Linear
+# ----------------------------------------------------------------------
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with weight ``(out, in)``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def avg_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Average pooling; the paper applies 8x8 average pooling to 2048px
+    layout images before feeding the network (Section 4)."""
+    kernel = _pair(kernel)
+    stride = kernel if stride is None else _pair(stride)
+    kh, kw = kernel
+    sh, sw = stride
+    n, c, h, w = x.shape
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+
+    cols = im2col(x.data, kernel, stride, (0, 0)).reshape(n, c, kh * kw, oh * ow)
+    out = cols.mean(axis=2).reshape(n, c, oh, ow)
+
+    def backward(grad):
+        grad_cols = np.repeat(grad.reshape(n, c, 1, oh * ow), kh * kw, axis=2)
+        grad_cols = (grad_cols / (kh * kw)).reshape(n, c * kh * kw, oh * ow)
+        return (col2im(grad_cols, (n, c, h, w), kernel, stride, (0, 0)),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def max_pool2d(x: Tensor, kernel: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    kernel = _pair(kernel)
+    stride = kernel if stride is None else _pair(stride)
+    kh, kw = kernel
+    sh, sw = stride
+    n, c, h, w = x.shape
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+
+    cols = im2col(x.data, kernel, stride, (0, 0)).reshape(n, c, kh * kw, oh * ow)
+    argmax = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+    out = out.reshape(n, c, oh, ow)
+
+    def backward(grad):
+        grad_cols = np.zeros((n, c, kh * kw, oh * ow), dtype=grad.dtype)
+        np.put_along_axis(grad_cols, argmax[:, :, None, :],
+                          grad.reshape(n, c, 1, oh * ow), axis=2)
+        grad_cols = grad_cols.reshape(n, c * kh * kw, oh * ow)
+        return (col2im(grad_cols, (n, c, h, w), kernel, stride, (0, 0)),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def upsample_nearest2d(x: Tensor, scale: int) -> Tensor:
+    """Nearest-neighbour upsampling by an integer factor."""
+    scale = int(scale)
+    a = x
+    out = a.data.repeat(scale, axis=-2).repeat(scale, axis=-1)
+    n, c, h, w = a.shape
+
+    def backward(grad):
+        g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        return (g,)
+
+    return Tensor._make(out, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Normalization
+# ----------------------------------------------------------------------
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               running_mean: np.ndarray, running_var: np.ndarray,
+               training: bool, momentum: float = 0.1,
+               eps: float = 1e-5) -> Tensor:
+    """Batch normalization over the channel axis of NCHW (or NC) input.
+
+    ``running_mean`` / ``running_var`` are plain arrays updated in place
+    during training, used directly in eval mode.
+    """
+    if x.ndim == 4:
+        axes = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+        count = x.shape[0] * x.shape[2] * x.shape[3]
+    elif x.ndim == 2:
+        axes = (0,)
+        shape = (1, -1)
+        count = x.shape[0]
+    else:
+        raise ValueError(f"batch_norm expects 2D or 4D input, got {x.ndim}D")
+
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        running_mean *= (1.0 - momentum)
+        running_mean += momentum * mean
+        unbiased = var * count / max(count - 1, 1)
+        running_var *= (1.0 - momentum)
+        running_var += momentum * unbiased
+    else:
+        mean = running_mean
+        var = running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mean.reshape(shape)) * inv_std.reshape(shape)
+    out = gamma.data.reshape(shape) * x_hat + beta.data.reshape(shape)
+
+    def backward(grad):
+        g = gamma.data.reshape(shape)
+        grad_gamma = (grad * x_hat).sum(axis=axes)
+        grad_beta = grad.sum(axis=axes)
+        if training:
+            # Full batch-norm backward through the batch statistics.
+            gx_hat = grad * g
+            grad_x = (gx_hat
+                      - gx_hat.mean(axis=axes, keepdims=True)
+                      - x_hat * (gx_hat * x_hat).mean(axis=axes, keepdims=True)
+                      ) * inv_std.reshape(shape)
+        else:
+            grad_x = grad * g * inv_std.reshape(shape)
+        return (grad_x, grad_gamma, grad_beta)
+
+    return Tensor._make(out, (x, gamma, beta), backward)
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+def mse_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    """Squared error; with ``reduction='sum'`` this is exactly the paper's
+    squared L2 metric (Definition 1)."""
+    diff = prediction - (target if isinstance(target, Tensor) else Tensor(target))
+    squared = diff * diff
+    if reduction == "mean":
+        return squared.mean()
+    if reduction == "sum":
+        return squared.sum()
+    if reduction == "none":
+        return squared
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def l1_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    diff = (prediction - (target if isinstance(target, Tensor) else Tensor(target))).abs()
+    if reduction == "mean":
+        return diff.mean()
+    if reduction == "sum":
+        return diff.sum()
+    if reduction == "none":
+        return diff
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def bce_loss(probability: Tensor, target: Tensor, eps: float = 1e-7,
+             reduction: str = "mean") -> Tensor:
+    """Binary cross-entropy on probabilities (post-sigmoid).
+
+    The GAN objectives (Eqs. 7-8) are log-likelihood terms of exactly this
+    form; ``eps`` clamping keeps ``log`` finite when the discriminator
+    saturates early in training.
+    """
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    p = probability.clip(eps, 1.0 - eps)
+    loss = -(target * p.log() + (1.0 - target) * (1.0 - p).log())
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def bce_with_logits(logits: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    """Numerically stable BCE on raw logits:
+    ``max(z, 0) - z * t + log(1 + exp(-|z|))``."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    z = logits
+    relu_z = z.relu()
+    abs_z = z.abs()
+    loss = relu_z - z * target + ((-abs_z).exp() + 1.0).log()
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    if reduction == "none":
+        return loss
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)

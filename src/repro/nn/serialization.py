@@ -1,0 +1,34 @@
+"""Checkpoint save/load for ``repro.nn`` modules.
+
+State dictionaries are stored as flat ``.npz`` archives, which keeps
+checkpoints portable, dependency-free and human-inspectable with
+``np.load``.  Used by the training examples to persist generator /
+discriminator weights between the pre-training (Algorithm 2) and
+adversarial (Algorithm 1) phases.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .modules import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Write ``module.state_dict()`` to ``path`` as an ``.npz`` archive."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Load an ``.npz`` checkpoint produced by :func:`save_state`."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,18 @@
+"""``repro.opc`` — model-based OPC baseline (conventional flow, Fig. 1).
+
+Edge fragmentation (:mod:`fragments`) and iterative litho-driven
+segment movement (:mod:`mbopc`) — the conventional OPC methodology the
+paper's introduction contrasts against pixel-based ILT and GAN-OPC.
+"""
+
+from .fragments import EdgeSegment, fragment_layout, fragment_rect
+from .mbopc import MbOpcConfig, MbOpcResult, ModelBasedOPC
+from .mrc import MrcConfig, MrcReport, check_mask, cleanup_mask
+from .sraf import (SrafConfig, assisted_mask_layout, candidate_bars,
+                   insert_srafs)
+
+__all__ = ["EdgeSegment", "fragment_rect", "fragment_layout",
+           "MbOpcConfig", "MbOpcResult", "ModelBasedOPC",
+           "SrafConfig", "candidate_bars", "insert_srafs",
+           "assisted_mask_layout",
+           "MrcConfig", "MrcReport", "check_mask", "cleanup_mask"]

@@ -1,0 +1,105 @@
+"""Edge fragmentation for model-based OPC.
+
+"In model-based OPC flows, pattern edges are fractured into segments
+which are then shifted/corrected according to mathematical models"
+(Section 1).  This module fractures rectangle edges into
+:class:`EdgeSegment` fragments, each carrying a control point at its
+midpoint and an outward normal; the correction engine in
+:mod:`repro.opc.mbopc` moves fragments along their normals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from ..geometry.layout import Layout
+from ..geometry.shapes import Rect
+
+
+@dataclass(frozen=True)
+class EdgeSegment:
+    """A fragment of a pattern edge.
+
+    Attributes
+    ----------
+    rect_index:
+        Which layout rect the fragment belongs to.
+    start, end:
+        Fragment endpoints in nm (axis-aligned; ``start`` < ``end``
+        along the edge direction).
+    normal:
+        Outward unit normal, one of ``(+1,0), (-1,0), (0,+1), (0,-1)``.
+    offset:
+        Current correction displacement along the normal in nm
+        (positive = outward growth).  Fragments start at 0.
+    """
+
+    rect_index: int
+    start: Tuple[float, float]
+    end: Tuple[float, float]
+    normal: Tuple[int, int]
+    offset: float = 0.0
+
+    @property
+    def length(self) -> float:
+        return abs(self.end[0] - self.start[0]) + abs(self.end[1] - self.start[1])
+
+    @property
+    def midpoint(self) -> Tuple[float, float]:
+        """The OPC control point of this fragment."""
+        return (0.5 * (self.start[0] + self.end[0]),
+                0.5 * (self.start[1] + self.end[1]))
+
+    def with_offset(self, offset: float) -> "EdgeSegment":
+        return replace(self, offset=offset)
+
+    def moved_strip(self) -> Rect:
+        """The rectangular strip swept by the fragment's displacement.
+
+        For ``offset > 0`` this strip is *added* to the mask (edge
+        pushed outward); for ``offset < 0`` it is *erased* (edge pulled
+        inward).  Returns a degenerate-free rect; caller must skip when
+        ``offset == 0``.
+        """
+        if self.offset == 0.0:
+            raise ValueError("no strip for zero offset")
+        (x0, y0), (x1, y1) = self.start, self.end
+        nx, ny = self.normal
+        d = self.offset
+        if nx:  # vertical edge, horizontal displacement
+            lo, hi = sorted((x0, x0 + nx * d))
+            return Rect(lo, y0, hi, y1)
+        lo, hi = sorted((y0, y0 + ny * d))
+        return Rect(x0, lo, x1, hi)
+
+
+def fragment_rect(rect: Rect, rect_index: int,
+                  max_fragment: float) -> List[EdgeSegment]:
+    """Fracture one rectangle's four edges into fragments of at most
+    ``max_fragment`` nm."""
+    if max_fragment <= 0:
+        raise ValueError("max_fragment must be positive")
+    segments: List[EdgeSegment] = []
+
+    def _split(lo: float, hi: float) -> List[Tuple[float, float]]:
+        span = hi - lo
+        count = max(int(-(-span // max_fragment)), 1)  # ceil division
+        edges = [lo + span * i / count for i in range(count + 1)]
+        return list(zip(edges[:-1], edges[1:]))
+
+    for a, b in _split(rect.x0, rect.x1):
+        segments.append(EdgeSegment(rect_index, (a, rect.y0), (b, rect.y0), (0, -1)))
+        segments.append(EdgeSegment(rect_index, (a, rect.y1), (b, rect.y1), (0, +1)))
+    for a, b in _split(rect.y0, rect.y1):
+        segments.append(EdgeSegment(rect_index, (rect.x0, a), (rect.x0, b), (-1, 0)))
+        segments.append(EdgeSegment(rect_index, (rect.x1, a), (rect.x1, b), (+1, 0)))
+    return segments
+
+
+def fragment_layout(layout: Layout, max_fragment: float = 40.0) -> List[EdgeSegment]:
+    """Fracture every rect in a layout."""
+    segments: List[EdgeSegment] = []
+    for index, rect in enumerate(layout.rects):
+        segments.extend(fragment_rect(rect, index, max_fragment))
+    return segments

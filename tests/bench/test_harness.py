@@ -1,0 +1,91 @@
+"""Integration tests for the experiment harness (quick scale)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (ExperimentConfig, Pipeline, iccad13_suite,
+                         run_figure8, run_figure9, run_table2,
+                         train_generators)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return Pipeline.build(ExperimentConfig.quick())
+
+
+@pytest.fixture(scope="module")
+def generators(pipeline):
+    return train_generators(pipeline)
+
+
+@pytest.fixture(scope="module")
+def table2(pipeline, generators):
+    clips = iccad13_suite(pipeline.litho)[:3]
+    return run_table2(pipeline, generators, clips=clips)
+
+
+class TestExperimentConfig:
+    def test_presets_scale_down(self):
+        assert ExperimentConfig.quick().grid < ExperimentConfig().grid
+        assert ExperimentConfig.paper().dataset_size == 4000
+
+
+class TestTrainGenerators:
+    def test_histories_cover_iterations(self, pipeline, generators):
+        cfg = pipeline.config
+        assert generators.gan_history.iterations == cfg.gan_iterations
+        assert generators.pgan_history.iterations == cfg.gan_iterations
+        assert generators.pretrain_history.iterations == cfg.pretrain_iterations
+
+    def test_generators_distinct(self, pipeline, generators, rng):
+        from repro import nn
+        x = nn.Tensor(rng.random((1, 1, pipeline.config.grid,
+                                  pipeline.config.grid)))
+        generators.gan.eval(), generators.pgan.eval()
+        assert not np.allclose(generators.gan(x).data,
+                               generators.pgan(x).data)
+
+
+class TestTable2:
+    def test_columns_cover_methods_and_clips(self, table2):
+        assert set(table2.columns) == {"ILT", "GAN-OPC", "PGAN-OPC"}
+        for evals in table2.columns.values():
+            assert len(evals) == 3
+
+    def test_masks_recorded(self, table2):
+        for method, masks in table2.masks.items():
+            assert len(masks) == 3
+            for mask in masks:
+                assert set(np.unique(mask)) <= {0.0, 1.0}
+
+    def test_runtimes_positive(self, table2):
+        for evals in table2.columns.values():
+            assert all(e.runtime_seconds > 0 for e in evals)
+
+    def test_table_text_formatted(self, table2):
+        assert "ratio" in table2.table
+        assert "iccad13-01" in table2.table
+
+    def test_averages_and_ratio(self, table2):
+        l2, pvb, rt = table2.averages("ILT")
+        assert l2 >= 0 and pvb >= 0 and rt > 0
+        ratios = table2.ratio("GAN-OPC")
+        assert len(ratios) == 3
+        assert table2.ratio("ILT") == (1.0, 1.0, 1.0)
+
+
+class TestFigures:
+    def test_figure8_gallery_rows(self, pipeline, table2):
+        rows = run_figure8(pipeline, table2)
+        assert len(rows) == 5  # masks x2, wafers x2, targets
+        assert all(len(row) == 3 for row in rows)
+        grid = pipeline.config.grid
+        assert rows[0][0].shape == (grid, grid)
+
+    def test_figure9_defect_census(self, pipeline, table2):
+        comparisons = run_figure9(pipeline, table2)
+        assert len(comparisons) == 3
+        for comp in comparisons:
+            assert comp.ilt_bridges >= 0
+            assert comp.pgan_necks >= 0
+            assert comp.ilt_overlay.shape == comp.pgan_overlay.shape

@@ -1,0 +1,88 @@
+"""Unit tests for the ICCAD-13-substitute benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (PAPER_AVERAGES, PAPER_TABLE2, PAPER_WINDOW_NM,
+                         iccad13_suite, make_clip, scaled_area)
+from repro.litho import LithoConfig
+
+
+@pytest.fixture(scope="module")
+def suite128():
+    return iccad13_suite(LithoConfig.small(128))
+
+
+class TestPaperData:
+    def test_ten_clips_recorded(self):
+        assert len(PAPER_TABLE2) == 10
+        assert all(name.startswith("iccad13-") for name in PAPER_TABLE2)
+
+    def test_averages_match_per_clip_data(self):
+        for method in ("ilt", "gan", "pgan"):
+            l2s = [PAPER_TABLE2[n][method][0] for n in PAPER_TABLE2]
+            assert abs(np.mean(l2s) - PAPER_AVERAGES[method][0]) < 0.1
+
+    def test_paper_ratios(self):
+        """The paper's headline: GAN 0.911/0.993/0.488, PGAN
+        0.908/0.981/0.471 relative to ILT."""
+        ilt = PAPER_AVERAGES["ilt"]
+        pgan = PAPER_AVERAGES["pgan"]
+        assert abs(pgan[0] / ilt[0] - 0.908) < 0.001
+        assert abs(pgan[2] / ilt[2] - 0.471) < 0.001
+
+
+class TestScaledArea:
+    def test_identity_at_paper_window(self):
+        assert scaled_area(1, PAPER_WINDOW_NM) == PAPER_TABLE2["iccad13-01"]["area"]
+
+    def test_quadratic_scaling(self):
+        assert scaled_area(1, PAPER_WINDOW_NM / 2) == pytest.approx(
+            PAPER_TABLE2["iccad13-01"]["area"] / 4)
+
+
+class TestMakeClip:
+    def test_invalid_id(self):
+        with pytest.raises(ValueError):
+            make_clip(0)
+        with pytest.raises(ValueError):
+            make_clip(11)
+
+    def test_deterministic(self):
+        config = LithoConfig.small(64)
+        a = make_clip(3, config)
+        b = make_clip(3, config)
+        assert a.layout.rects == b.layout.rects
+
+    def test_clip_fits_window(self, suite128):
+        for clip in suite128:
+            clip.layout.validate()
+
+
+class TestSuite:
+    def test_names_ordered(self, suite128):
+        names = [c.name for c in suite128]
+        assert names == [f"iccad13-{i:02d}" for i in range(1, 11)]
+
+    def test_areas_match_table2_at_128(self, suite128):
+        """At the default benchmark grid the synthesized union areas
+        must track the scaled Table 2 areas."""
+        for clip in suite128:
+            assert clip.area_error < 0.1, clip.name
+
+    def test_structure_not_degenerate_at_128(self, suite128):
+        assert np.mean([len(c.layout) for c in suite128]) >= 3
+
+    def test_relative_clip_sizes_preserved(self, suite128):
+        """iccad13-09 is the paper's largest clip, iccad13-04 the
+        smallest: the substitutes must preserve that ordering."""
+        areas = {c.name: c.layout.pattern_area for c in suite128}
+        assert max(areas, key=areas.get) == "iccad13-09"
+        assert min(areas, key=areas.get) == "iccad13-04"
+
+    def test_clips_disjoint_from_training_seeds(self, suite128, litho64):
+        from repro.layoutgen import SyntheticDataset
+        dataset = SyntheticDataset(LithoConfig.small(128), size=3, seed=0)
+        train_rects = {tuple(dataset.layout(i).rects) for i in range(3)}
+        bench_rects = {tuple(c.layout.rects) for c in suite128}
+        assert not (train_rects & bench_rects)

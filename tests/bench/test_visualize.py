@@ -1,0 +1,102 @@
+"""Unit tests for visualization outputs."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (ascii_curve, montage, overlay_comparison, read_pgm,
+                         save_gallery, write_pgm)
+
+
+class TestPGM:
+    def test_round_trip(self, tmp_path, rng):
+        image = rng.random((12, 20))
+        path = str(tmp_path / "img.pgm")
+        write_pgm(image, path)
+        recovered = read_pgm(path)
+        assert recovered.shape == (12, 20)
+        assert np.abs(recovered - image).max() <= 1.0 / 255 + 1e-9
+
+    def test_clips_out_of_range(self, tmp_path):
+        path = str(tmp_path / "clip.pgm")
+        write_pgm(np.array([[-1.0, 2.0]]), path)
+        recovered = read_pgm(path)
+        np.testing.assert_allclose(recovered, [[0.0, 1.0]])
+
+    def test_rejects_non_2d(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pgm(np.zeros((2, 2, 2)), str(tmp_path / "x.pgm"))
+
+    def test_read_rejects_other_formats(self, tmp_path):
+        path = tmp_path / "fake.pgm"
+        path.write_bytes(b"P6\n1 1\n255\n\x00\x00\x00")
+        with pytest.raises(ValueError):
+            read_pgm(str(path))
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "img.pgm")
+        write_pgm(np.zeros((2, 2)), path)
+        assert read_pgm(path).shape == (2, 2)
+
+
+class TestMontage:
+    def test_grid_dimensions(self):
+        images = [np.zeros((4, 6))] * 5
+        tiled = montage(images, columns=3, pad=1)
+        assert tiled.shape == (2 * 4 + 3 * 1, 3 * 6 + 4 * 1)
+
+    def test_content_placed(self):
+        a = np.ones((2, 2))
+        b = np.zeros((2, 2))
+        tiled = montage([a, b], columns=2, pad=0)
+        np.testing.assert_allclose(tiled[:, :2], 1.0)
+        np.testing.assert_allclose(tiled[:, 2:], 0.0)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            montage([], columns=2)
+        with pytest.raises(ValueError):
+            montage([np.zeros((2, 2)), np.zeros((3, 3))], columns=2)
+        with pytest.raises(ValueError):
+            montage([np.zeros((2, 2))], columns=0)
+
+
+class TestAsciiCurve:
+    def test_contains_extremes_and_title(self):
+        chart = ascii_curve([1.0, 5.0, 3.0], title="loss", label="step")
+        assert "loss" in chart
+        assert "5.00" in chart and "1.00" in chart
+        assert "step" in chart
+
+    def test_downsamples_long_series(self):
+        chart = ascii_curve(list(range(1000)), width=50)
+        assert "n=50" in chart
+
+    def test_flat_series(self):
+        chart = ascii_curve([2.0, 2.0, 2.0])
+        assert "2.00" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_curve([])
+
+
+class TestOverlay:
+    def test_four_levels(self):
+        target = np.array([[1, 1, 0, 0]], dtype=float)
+        wafer = np.array([[1, 0, 1, 0]], dtype=float)
+        overlay = overlay_comparison(target, wafer)
+        np.testing.assert_allclose(overlay, [[1.0, 0.33, 0.66, 0.0]])
+
+
+class TestGallery:
+    def test_save_gallery(self, tmp_path):
+        rows = [[np.ones((4, 4)), np.zeros((4, 4))],
+                [np.zeros((4, 4)), np.ones((4, 4))]]
+        path = str(tmp_path / "gallery.pgm")
+        save_gallery(rows, path)
+        image = read_pgm(path)
+        assert image.shape[0] > 8 and image.shape[1] > 8
+
+    def test_unequal_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_gallery([[np.ones((2, 2))], []], str(tmp_path / "g.pgm"))

@@ -1,0 +1,84 @@
+"""Unit tests for the pair and mask-only discriminators (Section 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import MaskOnlyDiscriminator, PairDiscriminator
+
+
+def _pair_disc(grid=16, channels=(4, 8), seed=0):
+    return PairDiscriminator(grid, channels, rng=np.random.default_rng(seed))
+
+
+class TestPairDiscriminator:
+    def test_output_is_probability_batch(self, rng):
+        disc = _pair_disc()
+        target = nn.Tensor(rng.random((3, 1, 16, 16)))
+        mask = nn.Tensor(rng.random((3, 1, 16, 16)))
+        out = disc(target, mask)
+        assert out.shape == (3, 1)
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_shape_mismatch_rejected(self, rng):
+        disc = _pair_disc()
+        with pytest.raises(ValueError):
+            disc(nn.Tensor(np.zeros((2, 1, 16, 16))),
+                 nn.Tensor(np.zeros((3, 1, 16, 16))))
+
+    def test_grid_not_divisible_rejected(self):
+        with pytest.raises(ValueError):
+            PairDiscriminator(18, (4, 8))
+
+    def test_empty_channels_rejected(self):
+        with pytest.raises(ValueError):
+            PairDiscriminator(16, ())
+
+    def test_depends_on_target_channel(self, rng):
+        """The pair design must react to the *target*, not only the
+        mask — this is what enforces the one-to-one mapping (Eq. 6)."""
+        disc = _pair_disc()
+        disc.eval()
+        mask = nn.Tensor(rng.random((1, 1, 16, 16)))
+        target_a = nn.Tensor(rng.random((1, 1, 16, 16)))
+        target_b = nn.Tensor(rng.random((1, 1, 16, 16)))
+        assert not np.allclose(disc(target_a, mask).data,
+                               disc(target_b, mask).data)
+
+    def test_gradient_flows_to_mask(self, rng):
+        disc = _pair_disc()
+        target = nn.Tensor(rng.random((2, 1, 16, 16)))
+        mask = nn.Tensor(rng.random((2, 1, 16, 16)), requires_grad=True)
+        disc(target, mask).sum().backward()
+        assert mask.grad is not None
+        assert np.abs(mask.grad).sum() > 0
+
+
+class TestMaskOnlyDiscriminator:
+    def test_ignores_target(self, rng):
+        """The conventional design is blind to the target — the defect
+        the paper's Section 3.2 analysis identifies."""
+        disc = MaskOnlyDiscriminator(16, (4, 8),
+                                     rng=np.random.default_rng(0))
+        disc.eval()
+        mask = nn.Tensor(rng.random((1, 1, 16, 16)))
+        target_a = nn.Tensor(rng.random((1, 1, 16, 16)))
+        target_b = nn.Tensor(rng.random((1, 1, 16, 16)))
+        np.testing.assert_allclose(disc(target_a, mask).data,
+                                   disc(target_b, mask).data)
+
+    def test_output_shape(self, rng):
+        disc = MaskOnlyDiscriminator(16, (4, 8),
+                                     rng=np.random.default_rng(0))
+        out = disc(nn.Tensor(rng.random((4, 1, 16, 16))),
+                   nn.Tensor(rng.random((4, 1, 16, 16))))
+        assert out.shape == (4, 1)
+
+    def test_shares_trainer_interface(self, rng):
+        """Both discriminators accept (target, mask) so GanOpcTrainer
+        can run the ablation without special-casing."""
+        for cls in (PairDiscriminator, MaskOnlyDiscriminator):
+            disc = cls(16, (4,), rng=np.random.default_rng(0))
+            out = disc(nn.Tensor(rng.random((2, 1, 16, 16))),
+                       nn.Tensor(rng.random((2, 1, 16, 16))))
+            assert out.shape == (2, 1)

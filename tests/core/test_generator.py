@@ -1,0 +1,105 @@
+"""Unit tests for the auto-encoder mask generator (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import MaskGenerator
+
+
+def _generator(channels=(4, 8), residual=2.0, seed=0):
+    return MaskGenerator(channels, residual_scale=residual,
+                         rng=np.random.default_rng(seed))
+
+
+class TestArchitecture:
+    def test_output_shape_matches_input(self):
+        gen = _generator()
+        out = gen(nn.Tensor(np.zeros((2, 1, 16, 16))))
+        assert out.shape == (2, 1, 16, 16)
+
+    def test_single_level(self):
+        gen = _generator(channels=(6,))
+        out = gen(nn.Tensor(np.zeros((1, 1, 8, 8))))
+        assert out.shape == (1, 1, 8, 8)
+
+    def test_four_levels_paper_architecture(self):
+        gen = _generator(channels=(4, 8, 16, 32))
+        out = gen(nn.Tensor(np.zeros((1, 1, 32, 32))))
+        assert out.shape == (1, 1, 32, 32)
+
+    def test_output_in_unit_interval(self, rng):
+        gen = _generator()
+        out = gen(nn.Tensor(rng.random((2, 1, 16, 16))))
+        assert out.data.min() >= 0.0
+        assert out.data.max() <= 1.0
+
+    def test_rejects_bad_input_rank(self):
+        gen = _generator()
+        with pytest.raises(ValueError):
+            gen(nn.Tensor(np.zeros((16, 16))))
+        with pytest.raises(ValueError):
+            gen(nn.Tensor(np.zeros((1, 2, 16, 16))))
+
+    def test_empty_channels_rejected(self):
+        with pytest.raises(ValueError):
+            MaskGenerator(channels=())
+
+    def test_negative_residual_rejected(self):
+        with pytest.raises(ValueError):
+            MaskGenerator(channels=(4,), residual_scale=-1.0)
+
+    def test_deterministic_for_seed(self):
+        x = nn.Tensor(np.random.default_rng(9).random((1, 1, 16, 16)))
+        a = _generator(seed=5)
+        b = _generator(seed=5)
+        a.eval(), b.eval()
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+
+class TestResidualFormulation:
+    def test_fresh_generator_approximates_target(self, rng):
+        """With the correction (residual) formulation, an untrained
+        generator already emits a softened copy of the target — the
+        paper's 'mask correction with respect to the target'."""
+        gen = _generator(residual=2.0)
+        gen.eval()
+        target = (rng.random((16, 16)) > 0.7).astype(float)
+        mask = gen.generate(target)
+        # Correlation with the target should be strongly positive.
+        on_mean = mask[target > 0.5].mean() if target.sum() else 1.0
+        off_mean = mask[target < 0.5].mean()
+        assert on_mean - off_mean > 0.3
+
+    def test_plain_autoencoder_mode(self, rng):
+        gen = _generator(residual=0.0)
+        gen.eval()
+        target = (rng.random((16, 16)) > 0.7).astype(float)
+        mask = gen.generate(target)
+        assert mask.shape == (16, 16)  # runs; mapping untrained
+
+    def test_gradients_flow_to_all_parameters(self, rng):
+        gen = _generator()
+        out = gen(nn.Tensor(rng.random((2, 1, 16, 16))))
+        (out * out).sum().backward()
+        missing = [name for name, p in gen.named_parameters() if p.grad is None]
+        assert missing == []
+
+
+class TestGenerate:
+    def test_inference_returns_2d(self, rng):
+        gen = _generator()
+        mask = gen.generate(rng.random((16, 16)))
+        assert mask.shape == (16, 16)
+        assert isinstance(mask, np.ndarray)
+
+    def test_inference_preserves_training_mode(self, rng):
+        gen = _generator()
+        gen.train()
+        gen.generate(rng.random((16, 16)))
+        assert gen.training
+
+    def test_inference_builds_no_graph(self, rng):
+        gen = _generator()
+        gen.generate(rng.random((16, 16)))
+        assert all(p.grad is None for p in gen.parameters())

@@ -1,0 +1,105 @@
+"""Unit tests for the U-Net generator extension."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (GanOpcConfig, GanOpcTrainer, PairDiscriminator,
+                        UNetMaskGenerator)
+
+
+def _unet(channels=(4, 8), seed=0, residual=2.0):
+    return UNetMaskGenerator(channels, residual_scale=residual,
+                             rng=np.random.default_rng(seed))
+
+
+class TestArchitecture:
+    def test_output_shape(self):
+        gen = _unet()
+        out = gen(nn.Tensor(np.zeros((2, 1, 16, 16))))
+        assert out.shape == (2, 1, 16, 16)
+
+    def test_three_levels(self):
+        gen = _unet(channels=(4, 8, 16))
+        out = gen(nn.Tensor(np.zeros((1, 1, 32, 32))))
+        assert out.shape == (1, 1, 32, 32)
+
+    def test_needs_two_levels(self):
+        with pytest.raises(ValueError):
+            UNetMaskGenerator(channels=(8,))
+
+    def test_negative_residual_rejected(self):
+        with pytest.raises(ValueError):
+            UNetMaskGenerator(channels=(4, 8), residual_scale=-1.0)
+
+    def test_rejects_bad_input(self):
+        gen = _unet()
+        with pytest.raises(ValueError):
+            gen(nn.Tensor(np.zeros((16, 16))))
+
+    def test_output_in_unit_interval(self, rng):
+        out = _unet()(nn.Tensor(rng.random((2, 1, 16, 16))))
+        assert out.data.min() >= 0.0 and out.data.max() <= 1.0
+
+    def test_gradients_reach_every_parameter(self, rng):
+        gen = _unet()
+        out = gen(nn.Tensor(rng.random((2, 1, 16, 16))))
+        (out * out).sum().backward()
+        missing = [n for n, p in gen.named_parameters() if p.grad is None]
+        assert missing == []
+
+    def test_skip_connections_carry_information(self, rng):
+        """Zeroing the bottleneck path must not zero the output's
+        dependence on fine input structure (the skips carry it)."""
+        gen = _unet(channels=(4, 8), residual=0.0)
+        gen.eval()
+        a = rng.random((1, 1, 16, 16))
+        b = a.copy()
+        b[0, 0, 3, 3] += 0.5  # local perturbation
+        out_a = gen(nn.Tensor(a)).data
+        out_b = gen(nn.Tensor(b)).data
+        assert not np.allclose(out_a, out_b)
+
+    def test_generate_inference(self, rng):
+        gen = _unet()
+        mask = gen.generate(rng.random((16, 16)))
+        assert mask.shape == (16, 16)
+        assert all(p.grad is None for p in gen.parameters())
+
+
+class TestDropInCompatibility:
+    def test_trains_under_algorithm1(self, litho32, kernels32):
+        """The U-Net must be a drop-in generator for GanOpcTrainer."""
+        from repro.ilt import ILTConfig
+        from repro.layoutgen import SyntheticDataset
+        dataset = SyntheticDataset(litho32, size=3, seed=2, kernels=kernels32,
+                                   ilt_config=ILTConfig(max_iterations=10))
+        config = GanOpcConfig(grid=32, generator_channels=(4, 8),
+                              discriminator_channels=(4, 8), batch_size=2)
+        gen = _unet(seed=3)
+        disc = PairDiscriminator(32, (4, 8), rng=np.random.default_rng(4))
+        trainer = GanOpcTrainer(gen, disc, config)
+        history = trainer.train(dataset, iterations=3,
+                                rng=np.random.default_rng(5))
+        assert history.iterations == 3
+        assert all(np.isfinite(v) for v in history.generator_loss)
+
+    def test_pretrains_under_algorithm2(self, litho32, kernels32):
+        from repro.core import ILTGuidedPretrainer
+        from repro.layoutgen import SyntheticDataset
+        dataset = SyntheticDataset(litho32, size=3, seed=2, kernels=kernels32)
+        config = GanOpcConfig(grid=32, generator_channels=(4, 8),
+                              discriminator_channels=(4, 8), batch_size=2)
+        gen = _unet(seed=3)
+        pre = ILTGuidedPretrainer(gen, litho32, config, kernels=kernels32)
+        history = pre.train(dataset, iterations=3,
+                            rng=np.random.default_rng(5))
+        assert history.iterations == 3
+
+    def test_state_dict_roundtrip(self, rng):
+        a = _unet(seed=1)
+        b = _unet(seed=2)
+        b.load_state_dict(a.state_dict())
+        x = nn.Tensor(rng.random((1, 1, 16, 16)))
+        a.eval(), b.eval()
+        np.testing.assert_allclose(a(x).data, b(x).data)

@@ -1,0 +1,108 @@
+"""Unit tests for the Table 1 design rules and checker."""
+
+import pytest
+
+from repro.geometry import (DesignRuleChecker, DesignRules, Layout, Rect)
+
+
+@pytest.fixture()
+def checker():
+    return DesignRuleChecker(DesignRules.iccad32nm())
+
+
+def _layout(*rects):
+    return Layout(extent=2000.0, rects=list(rects))
+
+
+class TestDesignRules:
+    def test_table1_values(self):
+        rules = DesignRules.iccad32nm()
+        assert rules.critical_dimension == 80.0
+        assert rules.pitch == 140.0
+        assert rules.tip_to_tip == 60.0
+        assert rules.spacing == 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesignRules(critical_dimension=-1)
+        with pytest.raises(ValueError):
+            DesignRules(critical_dimension=100, pitch=90)
+
+
+class TestWidthCheck:
+    def test_clean_wire(self, checker):
+        layout = _layout(Rect(0, 0, 400, 80))
+        assert checker.check_width(layout) == []
+
+    def test_narrow_wire_flagged(self, checker):
+        layout = _layout(Rect(0, 0, 400, 60))
+        violations = checker.check_width(layout)
+        assert len(violations) == 1
+        assert violations[0].kind == "width"
+        assert violations[0].measured == 60.0
+
+    def test_violation_string(self, checker):
+        violation = checker.check_width(_layout(Rect(0, 0, 400, 60)))[0]
+        assert "width" in str(violation)
+        assert "60.0" in str(violation)
+
+
+class TestSpacingCheck:
+    def test_legal_parallel_wires(self, checker):
+        layout = _layout(Rect(0, 0, 400, 80), Rect(0, 140, 400, 220))
+        assert checker.check_spacing(layout) == []
+
+    def test_tight_parallel_wires_flagged(self, checker):
+        layout = _layout(Rect(0, 0, 400, 80), Rect(0, 120, 400, 200))
+        violations = checker.check_spacing(layout)
+        assert len(violations) == 1
+        assert violations[0].kind == "spacing"
+        assert violations[0].measured == 40.0
+
+    def test_touching_rects_same_net_exempt(self, checker):
+        # L-shape: vertical stub abutting a horizontal wire.
+        layout = _layout(Rect(0, 0, 400, 80), Rect(0, 80, 80, 300))
+        assert checker.check_spacing(layout) == []
+
+    def test_legal_tip_to_tip(self, checker):
+        layout = _layout(Rect(0, 0, 200, 80), Rect(260, 0, 400, 80))
+        assert checker.check_spacing(layout) == []
+
+    def test_tight_tip_to_tip_flagged(self, checker):
+        layout = _layout(Rect(0, 0, 200, 80), Rect(240, 0, 400, 80))
+        violations = checker.check_spacing(layout)
+        assert len(violations) == 1
+        assert violations[0].kind == "tip_to_tip"
+        assert violations[0].measured == 40.0
+
+    def test_tip_to_tip_between_40_and_60_is_legal_side_spacing_case(self, checker):
+        """Facing ends at 60nm are legal even though side spacing would
+        also be 60 — distinguishing the two rules."""
+        layout = _layout(Rect(0, 0, 200, 80), Rect(260, 0, 400, 80))
+        assert checker.is_clean(layout)
+
+    def test_diagonal_neighbors_use_euclidean_gap(self, checker):
+        # Corner-to-corner distance ~42nm < 60nm spacing.
+        layout = _layout(Rect(0, 0, 100, 80), Rect(130, 110, 300, 190))
+        violations = checker.check_spacing(layout)
+        assert len(violations) == 1
+        assert violations[0].kind == "spacing"
+
+    def test_vertical_tip_to_tip(self, checker):
+        layout = _layout(Rect(0, 0, 80, 200), Rect(0, 240, 80, 400))
+        violations = checker.check_spacing(layout)
+        assert len(violations) == 1
+        assert violations[0].kind == "tip_to_tip"
+
+
+class TestCombined:
+    def test_check_aggregates(self, checker):
+        layout = _layout(Rect(0, 0, 400, 60),  # narrow
+                         Rect(0, 100, 400, 180))  # 40nm spacing
+        violations = checker.check(layout)
+        kinds = {v.kind for v in violations}
+        assert kinds == {"width", "spacing"}
+
+    def test_is_clean(self, checker):
+        assert checker.is_clean(_layout(Rect(0, 0, 400, 80)))
+        assert not checker.is_clean(_layout(Rect(0, 0, 400, 50)))

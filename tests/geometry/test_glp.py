@@ -1,0 +1,74 @@
+"""Unit and property tests for the text clip format."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Layout, Rect, glp
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self):
+        layout = Layout(extent=512.0, name="clip-a",
+                        rects=[Rect(10, 20, 110, 100), Rect(0, 0, 80, 80)])
+        recovered = glp.loads(glp.dumps(layout))
+        assert recovered.extent == 512.0
+        assert recovered.name == "clip-a"
+        assert recovered.rects == layout.rects
+
+    def test_file_round_trip(self, tmp_path):
+        layout = Layout(extent=100.0, name="t", rects=[Rect(1, 2, 3, 4)])
+        path = str(tmp_path / "clip.glp")
+        glp.save(layout, path)
+        assert glp.load(path).rects == layout.rects
+
+    def test_file_object_round_trip(self):
+        layout = Layout(extent=100.0, name="t", rects=[Rect(1, 2, 3, 4)])
+        buffer = io.StringIO()
+        glp.save(layout, buffer)
+        buffer.seek(0)
+        assert glp.load(buffer).rects == layout.rects
+
+    @given(st.lists(
+        st.tuples(st.floats(0, 400), st.floats(0, 400),
+                  st.floats(1, 100), st.floats(1, 100)),
+        min_size=0, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_random_layouts_round_trip(self, specs):
+        rects = [Rect(x, y, x + w, y + h) for x, y, w, h in specs]
+        layout = Layout(extent=1000.0, name="rand", rects=rects)
+        recovered = glp.loads(glp.dumps(layout))
+        assert len(recovered.rects) == len(rects)
+        for original, parsed in zip(rects, recovered.rects):
+            assert abs(original.x0 - parsed.x0) < 1e-6
+            assert abs(original.y1 - parsed.y1) < 1e-6
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # a comment
+        CLIP test 100
+
+        RECT 0 0 10 10  # trailing comment
+        END
+        """
+        layout = glp.loads(text)
+        assert len(layout.rects) == 1
+
+    @pytest.mark.parametrize("text,message", [
+        ("RECT 0 0 1 1\nEND", "before CLIP"),
+        ("CLIP a 100\nCLIP b 100\nEND", "duplicate"),
+        ("CLIP a 100\nRECT 0 0 1\nEND", "4 coordinates"),
+        ("CLIP a\nEND", "name and extent"),
+        ("CLIP a 100\nBLOB 1 2\nEND", "unknown keyword"),
+        ("CLIP a 100\n", "missing END"),
+        ("", "no CLIP header"),
+        ("END", "before CLIP"),
+        ("CLIP a 100\nEND\nRECT 0 0 1 1", "after END"),
+    ])
+    def test_malformed_inputs(self, text, message):
+        with pytest.raises(ValueError, match=message):
+            glp.loads(text)

@@ -1,0 +1,60 @@
+"""Unit tests for the Layout clip container."""
+
+import pytest
+
+from repro.geometry import Layout, Rect
+
+
+class TestLayout:
+    def test_construction(self):
+        layout = Layout(extent=100.0, rects=[Rect(10, 10, 20, 20)], name="x")
+        assert len(layout) == 1
+        assert layout.name == "x"
+        assert layout.window == Rect(0, 0, 100, 100)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            Layout(extent=0.0)
+
+    def test_add_validates_window(self):
+        layout = Layout(extent=50.0)
+        layout.add(Rect(0, 0, 50, 10))
+        with pytest.raises(ValueError):
+            layout.add(Rect(40, 40, 60, 50))
+
+    def test_extend(self):
+        layout = Layout(extent=50.0)
+        layout.extend([Rect(0, 0, 10, 10), Rect(20, 20, 30, 30)])
+        assert len(layout) == 2
+
+    def test_validate_catches_out_of_window(self):
+        layout = Layout(extent=50.0, rects=[Rect(0, 0, 60, 10)])
+        with pytest.raises(ValueError):
+            layout.validate()
+
+    def test_pattern_area_is_union(self):
+        layout = Layout(extent=100.0,
+                        rects=[Rect(0, 0, 10, 10), Rect(5, 0, 15, 10)])
+        assert layout.pattern_area == 150.0
+        assert layout.density == 150.0 / 10000.0
+
+    def test_iteration(self):
+        rects = [Rect(0, 0, 5, 5), Rect(10, 10, 15, 15)]
+        layout = Layout(extent=20.0, rects=rects)
+        assert list(layout) == rects
+
+    def test_scaled(self):
+        layout = Layout(extent=10.0, rects=[Rect(1, 1, 2, 2)])
+        scaled = layout.scaled(4.0)
+        assert scaled.extent == 40.0
+        assert scaled.rects[0] == Rect(4, 4, 8, 8)
+
+    def test_translated_into_window_centers_pattern(self):
+        layout = Layout(extent=100.0, rects=[Rect(0, 0, 10, 10)])
+        centered = layout.translated_into_window()
+        assert centered.bounding_box().center == (50.0, 50.0)
+
+    def test_bounding_box(self):
+        layout = Layout(extent=100.0,
+                        rects=[Rect(5, 5, 10, 10), Rect(50, 60, 70, 80)])
+        assert layout.bounding_box() == Rect(5, 5, 70, 80)

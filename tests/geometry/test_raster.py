@@ -1,0 +1,121 @@
+"""Unit and property tests for rasterization and the resolution bridge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (Layout, Rect, average_pool, bilinear_upsample,
+                            binarize, rasterize)
+
+
+class TestRasterize:
+    def test_pixel_aligned_rect_exact(self):
+        layout = Layout(extent=64.0, rects=[Rect(16, 16, 48, 32)])
+        image = rasterize(layout, 64)  # 1nm pixels
+        assert image.sum() == 32 * 16
+        assert image.max() == 1.0
+
+    def test_antialiased_area_preserved(self):
+        """Total raster mass equals geometric area / pixel area even for
+        non-pixel-aligned shapes."""
+        layout = Layout(extent=64.0, rects=[Rect(10.3, 20.7, 33.9, 29.1)])
+        image = rasterize(layout, 32)  # 2nm pixels
+        geometric = layout.pattern_area / 4.0
+        np.testing.assert_allclose(image.sum(), geometric, rtol=1e-9)
+
+    def test_center_sampling_mode(self):
+        layout = Layout(extent=8.0, rects=[Rect(1.6, 1.6, 6.4, 6.4)])
+        image = rasterize(layout, 8, antialias=False)
+        assert set(np.unique(image)) <= {0.0, 1.0}
+
+    def test_values_clipped_to_one_on_overlap(self):
+        layout = Layout(extent=16.0, rects=[Rect(0, 0, 8, 8), Rect(0, 0, 8, 8)])
+        image = rasterize(layout, 16)
+        assert image.max() == 1.0
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            rasterize(Layout(extent=10.0), 0)
+
+    def test_raster_coordinates_match_geometry(self):
+        """image[row, col] covers y in [row*px, (row+1)*px)."""
+        layout = Layout(extent=16.0, rects=[Rect(0, 0, 4, 2)])
+        image = rasterize(layout, 16)  # 1nm pixels
+        assert image[0, 0] == 1.0 and image[1, 3] == 1.0
+        assert image[2, 0] == 0.0  # above the rect in y
+
+
+class TestAveragePool:
+    def test_exact_blocks(self):
+        image = np.arange(16.0).reshape(4, 4)
+        pooled = average_pool(image, 2)
+        np.testing.assert_allclose(pooled, [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_identity_factor_one(self):
+        image = np.random.default_rng(0).random((4, 4))
+        np.testing.assert_allclose(average_pool(image, 1), image)
+
+    def test_mass_preserved(self):
+        image = np.random.default_rng(0).random((16, 16))
+        pooled = average_pool(image, 8)
+        np.testing.assert_allclose(pooled.mean(), image.mean())
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            average_pool(np.zeros((10, 10)), 4)
+
+    def test_negative_factor_raises(self):
+        with pytest.raises(ValueError):
+            average_pool(np.zeros((4, 4)), 0)
+
+
+class TestBilinearUpsample:
+    def test_shape(self):
+        out = bilinear_upsample(np.ones((4, 4)), 8)
+        assert out.shape == (32, 32)
+
+    def test_constant_preserved(self):
+        out = bilinear_upsample(np.full((4, 4), 0.7), 4)
+        np.testing.assert_allclose(out, 0.7)
+
+    def test_factor_one_copies(self):
+        image = np.random.default_rng(0).random((4, 4))
+        out = bilinear_upsample(image, 1)
+        np.testing.assert_allclose(out, image)
+        assert out is not image
+
+    def test_values_interpolated_between_samples(self):
+        image = np.array([[0.0, 1.0]])
+        out = bilinear_upsample(image, 4)
+        row = out[0]
+        assert np.all(np.diff(row) >= 0)  # monotone ramp
+        assert row[0] == 0.0 and row[-1] == 1.0
+
+    def test_mean_approximately_preserved(self):
+        rng = np.random.default_rng(1)
+        image = rng.random((8, 8))
+        out = bilinear_upsample(image, 8)
+        assert abs(out.mean() - image.mean()) < 0.05
+
+    @given(st.sampled_from([2, 4, 8]))
+    @settings(max_examples=10, deadline=None)
+    def test_pool_then_upsample_roundtrip_on_smooth(self, factor):
+        """The paper's 8x8 pool + linear interp bridge must roughly
+        invert on smooth images (Section 4)."""
+        grid = 32
+        ys, xs = np.mgrid[0:grid, 0:grid] / grid
+        smooth = 0.5 + 0.4 * np.sin(2 * np.pi * xs) * np.cos(2 * np.pi * ys)
+        bridged = bilinear_upsample(average_pool(smooth, factor), factor)
+        assert np.abs(bridged - smooth).max() < 0.3
+        # Reconstruction error grows with the pooling factor.
+        assert np.abs(bridged - smooth).mean() < 0.01 * factor + 0.02
+
+
+class TestBinarize:
+    def test_default(self):
+        np.testing.assert_allclose(binarize(np.array([0.2, 0.5, 0.9])),
+                                   [0, 1, 1])
+
+    def test_custom_level(self):
+        np.testing.assert_allclose(binarize(np.array([0.2]), level=0.1), [1])

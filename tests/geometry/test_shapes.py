@@ -1,0 +1,125 @@
+"""Unit and property tests for rectilinear geometry primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, bounding_box, union_area
+
+
+def rects_strategy():
+    coord = st.floats(0, 100, allow_nan=False)
+    size = st.floats(1, 50, allow_nan=False)
+    return st.builds(lambda x, y, w, h: Rect(x, y, x + w, y + h),
+                     coord, coord, size, size)
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 0, 5)
+        with pytest.raises(ValueError):
+            Rect(0, 5, 5, 5)
+
+    def test_measures(self):
+        r = Rect(1, 2, 4, 8)
+        assert r.width == 3 and r.height == 6
+        assert r.area == 18
+        assert r.center == (2.5, 5.0)
+        assert r.min_dimension == 3
+        assert not r.is_horizontal
+
+    def test_intersects_open_vs_touches_closed(self):
+        a = Rect(0, 0, 2, 2)
+        edge = Rect(2, 0, 4, 2)
+        apart = Rect(3, 0, 4, 2)
+        assert not a.intersects(edge)
+        assert a.touches(edge)
+        assert not a.touches(apart)
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert not outer.contains_rect(Rect(5, 5, 11, 9))
+        assert outer.contains_point(0, 0)
+        assert not outer.contains_point(10, 10)  # half-open
+
+    def test_intersection(self):
+        a = Rect(0, 0, 4, 4)
+        b = Rect(2, 2, 6, 6)
+        assert a.intersection(b) == Rect(2, 2, 4, 4)
+        with pytest.raises(ValueError):
+            a.intersection(Rect(5, 5, 6, 6))
+
+    def test_transformations(self):
+        r = Rect(1, 1, 3, 3)
+        assert r.expanded(1) == Rect(0, 0, 4, 4)
+        assert r.translated(2, -1) == Rect(3, 0, 5, 2)
+        assert r.scaled(2) == Rect(2, 2, 6, 6)
+
+    def test_gap(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.gap(Rect(5, 0, 6, 2)) == 3.0
+        assert a.gap(Rect(0, 4, 2, 5)) == 2.0
+        assert a.gap(Rect(1, 1, 5, 5)) == 0.0
+        # Diagonal gap is Euclidean.
+        assert abs(a.gap(Rect(5, 5, 6, 6)) - np.hypot(3, 3)) < 1e-12
+
+    def test_axis_gaps(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.axis_gaps(Rect(5, 1, 6, 3)) == (3.0, 0.0)
+        assert a.axis_gaps(Rect(0, 3, 2, 4)) == (0.0, 1.0)
+
+
+class TestUnionArea:
+    def test_single(self):
+        assert union_area([Rect(0, 0, 3, 4)]) == 12.0
+
+    def test_disjoint_sum(self):
+        assert union_area([Rect(0, 0, 1, 1), Rect(5, 5, 7, 7)]) == 5.0
+
+    def test_overlap_not_double_counted(self):
+        assert union_area([Rect(0, 0, 4, 4), Rect(2, 0, 6, 4)]) == 24.0
+
+    def test_contained_rect_ignored(self):
+        assert union_area([Rect(0, 0, 10, 10), Rect(2, 2, 4, 4)]) == 100.0
+
+    def test_empty(self):
+        assert union_area([]) == 0.0
+
+    @given(st.lists(rects_strategy(), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_raster_monte_carlo(self, rects):
+        """Union area agrees with a fine rasterization to within the
+        raster quantization bound (perimeter * pixel size)."""
+        resolution = 800
+        scale = resolution / 160.0
+        pixel = 1.0 / scale
+        image = np.zeros((resolution, resolution), dtype=bool)
+        for r in rects:
+            x0, y0 = int(round(r.x0 * scale)), int(round(r.y0 * scale))
+            x1, y1 = int(round(r.x1 * scale)), int(round(r.y1 * scale))
+            image[y0:y1, x0:x1] = True
+        raster_area = image.sum() / scale ** 2
+        exact = union_area(rects)
+        bound = sum(2 * (r.width + r.height) for r in rects) * pixel + 1.0
+        assert abs(exact - raster_area) <= bound
+
+    @given(st.lists(rects_strategy(), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, rects):
+        """max(single areas) <= union <= sum of areas."""
+        union = union_area(rects)
+        assert max(r.area for r in rects) <= union + 1e-9
+        assert union <= sum(r.area for r in rects) + 1e-9
+
+
+class TestBoundingBox:
+    def test_simple(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(5, -2, 6, 3)])
+        assert box == Rect(0, -2, 6, 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

@@ -1,0 +1,71 @@
+"""Unit tests for the batched ILT optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.ilt import BatchedILTOptimizer, ILTConfig, ILTOptimizer
+
+
+def _targets(grid=32):
+    targets = np.zeros((3, grid, grid))
+    targets[0, 5:15, 4:28] = 1.0
+    targets[1, 12:22, 4:28] = 1.0
+    targets[2, 20:30, 6:26] = 1.0
+    return targets
+
+
+@pytest.fixture(scope="module")
+def batched(litho32, kernels32):
+    return BatchedILTOptimizer(litho32, ILTConfig(max_iterations=40),
+                               kernels=kernels32)
+
+
+class TestBatchedILT:
+    def test_shapes(self, batched):
+        result = batched.optimize(_targets())
+        assert result.masks.shape == (3, 32, 32)
+        assert result.l2.shape == (3,)
+        assert result.iterations == 40
+        assert result.runtime_seconds > 0
+
+    def test_rejects_wrong_rank(self, batched):
+        with pytest.raises(ValueError):
+            batched.optimize(np.zeros((32, 32)))
+
+    def test_rejects_wrong_grid(self, batched):
+        with pytest.raises(ValueError):
+            batched.optimize(np.zeros((2, 16, 16)))
+
+    def test_masks_binary(self, batched):
+        result = batched.optimize(_targets())
+        assert set(np.unique(result.masks)) <= {0.0, 1.0}
+
+    def test_improves_every_clip(self, batched, sim32):
+        from repro.ilt.gradient import discrete_l2
+        targets = _targets()
+        result = batched.optimize(targets)
+        for i in range(3):
+            baseline = discrete_l2(sim32.wafer_image(targets[i]), targets[i])
+            assert result.l2[i] <= baseline
+
+    def test_matches_per_clip_optimizer(self, litho32, kernels32):
+        """Batched semantics == looping the scalar optimizer with the
+        same schedule (no early stopping)."""
+        config = ILTConfig(max_iterations=30, patience=None)
+        targets = _targets()
+        batched = BatchedILTOptimizer(litho32, config,
+                                      kernels=kernels32).optimize(targets)
+        scalar = ILTOptimizer(litho32, config, kernels=kernels32)
+        for i in range(3):
+            single = scalar.optimize(targets[i])
+            np.testing.assert_allclose(batched.l2[i], single.l2)
+            np.testing.assert_array_equal(batched.masks[i], single.mask)
+
+    def test_history_is_mean_relaxed_error(self, batched):
+        result = batched.optimize(_targets(), max_iterations=5)
+        assert len(result.relaxed_history) == 5
+        assert all(np.isfinite(e) for e in result.relaxed_history)
+
+    def test_single_clip_batch(self, batched):
+        result = batched.optimize(_targets()[:1])
+        assert result.masks.shape == (1, 32, 32)

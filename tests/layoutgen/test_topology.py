@@ -1,0 +1,116 @@
+"""Unit and property tests for the layout topology synthesizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import DesignRuleChecker, DesignRules
+from repro.layoutgen import LayoutSynthesizer, TopologyConfig
+
+
+@pytest.fixture(scope="module")
+def synthesizer():
+    return LayoutSynthesizer(TopologyConfig(extent=1024.0))
+
+
+class TestTopologyConfig:
+    def test_defaults_use_table1_rules(self):
+        config = TopologyConfig()
+        assert config.rules == DesignRules.iccad32nm()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"extent": 100.0},  # smaller than margins + CD
+        {"track_skip_probability": 1.0},
+        {"max_width_factor": 0.5},
+        {"min_segment_factor": 5.0, "max_segment_factor": 2.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TopologyConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self, synthesizer):
+        a = synthesizer.generate(np.random.default_rng(42))
+        b = synthesizer.generate(np.random.default_rng(42))
+        assert a.rects == b.rects
+
+    def test_never_empty(self, synthesizer):
+        for seed in range(30):
+            clip = synthesizer.generate(np.random.default_rng(seed))
+            assert len(clip) >= 1
+
+    def test_shapes_inside_window(self, synthesizer):
+        for seed in range(10):
+            clip = synthesizer.generate(np.random.default_rng(seed))
+            clip.validate()
+
+    def test_margin_respected(self):
+        config = TopologyConfig(extent=1024.0, margin=100.0,
+                                stub_probability=0.0)
+        synth = LayoutSynthesizer(config)
+        for seed in range(10):
+            clip = synth.generate(np.random.default_rng(seed))
+            box = clip.bounding_box()
+            assert box.x0 >= 100.0 - 1e-9 and box.x1 <= 924.0 + 1e-9
+            assert box.y0 >= 100.0 - 1e-9 and box.y1 <= 924.0 + 1e-9
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_design_rule_clean(self, seed):
+        """Every synthesized clip must pass the Table 1 checker — the
+        paper's library is generated under these rules by construction."""
+        synth = LayoutSynthesizer(TopologyConfig(extent=1024.0))
+        clip = synth.generate(np.random.default_rng(seed))
+        checker = DesignRuleChecker(DesignRules.iccad32nm())
+        assert checker.check(clip) == []
+
+    def test_widths_at_least_cd(self, synthesizer):
+        cd = DesignRules.iccad32nm().critical_dimension
+        for seed in range(10):
+            clip = synthesizer.generate(np.random.default_rng(seed))
+            for rect in clip:
+                assert rect.min_dimension >= cd - 1e-9
+
+    def test_both_orientations_occur(self, synthesizer):
+        horizontal = vertical = 0
+        for seed in range(30):
+            clip = synthesizer.generate(np.random.default_rng(seed))
+            primary = sum(1 for r in clip if r.is_horizontal)
+            if primary >= len(clip) / 2:
+                horizontal += 1
+            else:
+                vertical += 1
+        assert horizontal > 0 and vertical > 0
+
+    def test_density_responds_to_skip_probability(self):
+        dense = LayoutSynthesizer(TopologyConfig(extent=1024.0,
+                                                 track_skip_probability=0.0))
+        sparse = LayoutSynthesizer(TopologyConfig(extent=1024.0,
+                                                  track_skip_probability=0.7))
+        dense_density = np.mean([
+            dense.generate(np.random.default_rng(s)).density
+            for s in range(10)])
+        sparse_density = np.mean([
+            sparse.generate(np.random.default_rng(s)).density
+            for s in range(10)])
+        assert dense_density > sparse_density
+
+
+class TestBatch:
+    def test_batch_count_and_names(self, synthesizer):
+        clips = synthesizer.generate_batch(5, seed=7, name_prefix="lib")
+        assert len(clips) == 5
+        assert clips[0].name == "lib-0000"
+        assert clips[4].name == "lib-0004"
+
+    def test_batch_instances_differ(self, synthesizer):
+        clips = synthesizer.generate_batch(4, seed=7)
+        layouts = {tuple(c.rects) for c in clips}
+        assert len(layouts) > 1
+
+    def test_batch_reproducible(self, synthesizer):
+        a = synthesizer.generate_batch(3, seed=9)
+        b = synthesizer.generate_batch(3, seed=9)
+        assert all(x.rects == y.rects for x, y in zip(a, b))

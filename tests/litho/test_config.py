@@ -1,0 +1,69 @@
+"""Unit tests for lithography configuration validation."""
+
+import pytest
+
+from repro.litho import LithoConfig, OpticsConfig
+
+
+class TestOpticsConfig:
+    def test_defaults_match_32nm_immersion(self):
+        optics = OpticsConfig()
+        assert optics.wavelength == 193.0
+        assert optics.na == 1.35
+        assert optics.num_kernels == 24  # the paper's N_h
+
+    def test_cutoff_frequency(self):
+        optics = OpticsConfig(wavelength=193.0, na=1.35, sigma_outer=0.8)
+        expected = 1.35 * 1.8 / 193.0
+        assert abs(optics.cutoff_frequency - expected) < 1e-12
+
+    @pytest.mark.parametrize("kwargs", [
+        {"wavelength": 0.0},
+        {"na": -1.0},
+        {"sigma_inner": 0.9, "sigma_outer": 0.8},
+        {"sigma_outer": 1.5},
+        {"num_kernels": 0},
+        {"source_points": 2},
+    ])
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            OpticsConfig(**kwargs)
+
+
+class TestLithoConfig:
+    def test_paper_settings(self):
+        config = LithoConfig.paper()
+        assert config.grid == 256
+        assert config.pixel_nm == 8.0
+        assert config.extent_nm == 2048.0
+
+    def test_small_preserves_optics(self):
+        small = LithoConfig.small(64)
+        assert small.optics == LithoConfig.paper().optics
+        assert small.grid == 64
+
+    def test_pixel_area(self):
+        assert LithoConfig.small(64).pixel_area_nm2 == 64.0
+
+    def test_with_grid(self):
+        derived = LithoConfig.paper().with_grid(128)
+        assert derived.grid == 128
+        assert derived.pixel_nm == 8.0
+
+    def test_undersampled_pixel_rejected(self):
+        # 193nm/1.35NA cutoff ~ 0.0126 1/nm; 50nm pixels can't sample it.
+        with pytest.raises(ValueError, match="undersamples"):
+            LithoConfig(grid=64, pixel_nm=50.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"grid": 4},
+        {"pixel_nm": -1.0},
+        {"threshold": 0.0},
+        {"threshold": 1.0},
+        {"resist_steepness": 0.0},
+        {"mask_steepness": -2.0},
+        {"dose_variation": 1.0},
+    ])
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            LithoConfig(**kwargs)

@@ -1,0 +1,124 @@
+"""Unit tests for TCC kernel construction."""
+
+import numpy as np
+import pytest
+
+from repro.litho import (LithoConfig, OpticsConfig, build_kernels,
+                         clear_cache, frequency_grid, pupil_function,
+                         source_map, source_points)
+
+
+class TestSourceAndPupil:
+    def test_source_points_inside_annulus(self):
+        optics = OpticsConfig(sigma_inner=0.4, sigma_outer=0.8)
+        points, weights = source_points(optics)
+        radii = np.hypot(points[:, 0], points[:, 1])
+        assert np.all(radii <= 0.8 + 1e-9)
+        assert np.all(radii >= 0.4 - 1e-9)
+        np.testing.assert_allclose(weights.sum(), 1.0)
+
+    def test_source_map_annular(self):
+        optics = OpticsConfig(sigma_inner=0.5, sigma_outer=0.8)
+        image = source_map(optics, resolution=65)
+        center = image[32, 32]
+        assert center == 0.0  # hole of the annulus
+
+    def test_pupil_is_lowpass(self):
+        optics = OpticsConfig()
+        fx, fy = frequency_grid(64, 8.0)
+        pupil = pupil_function(optics, fx, fy)
+        f_max = optics.na / optics.wavelength
+        outside = (fx ** 2 + fy ** 2) > (f_max * 1.01) ** 2
+        assert np.all(pupil[outside] == 0)
+        assert pupil[0, 0] == 1.0  # DC passes
+
+    def test_pupil_defocus_adds_phase(self):
+        optics = OpticsConfig(defocus=50.0)
+        fx, fy = frequency_grid(64, 8.0)
+        pupil = pupil_function(optics, fx, fy)
+        inside = np.abs(pupil) > 0
+        assert np.any(np.abs(np.angle(pupil[inside])) > 1e-6)
+
+    def test_frequency_grid_units(self):
+        fx, fy = frequency_grid(32, 8.0)
+        assert fx.shape == (32, 32)
+        assert abs(fx[1, 0] - 1.0 / (32 * 8.0)) < 1e-15
+
+
+class TestBuildKernels:
+    def test_kernel_count_and_shapes(self, kernels32, litho32):
+        assert kernels32.num_kernels == 24
+        assert kernels32.freq_kernels.shape == (24, 32, 32)
+        assert kernels32.grid == 32
+
+    def test_weights_positive_and_sorted(self, kernels32):
+        assert np.all(kernels32.weights > 0)
+        assert np.all(np.diff(kernels32.weights) <= 1e-12)
+
+    def test_clear_field_normalized(self, kernels32):
+        dc = np.abs(kernels32.freq_kernels[:, 0, 0]) ** 2
+        np.testing.assert_allclose(float((kernels32.weights * dc).sum()), 1.0)
+
+    def test_cache_returns_same_object(self, litho32):
+        a = build_kernels(litho32)
+        b = build_kernels(litho32)
+        assert a is b
+
+    def test_cache_can_be_bypassed_and_cleared(self, litho32):
+        a = build_kernels(litho32)
+        b = build_kernels(litho32, cache=False)
+        assert a is not b
+        np.testing.assert_allclose(a.freq_kernels, b.freq_kernels)
+
+    def test_kernels_limited_by_source_rank(self):
+        # A tiny source cannot produce 24 independent coherent systems
+        # beyond its own point count.
+        config = LithoConfig(
+            grid=32, pixel_nm=8.0,
+            optics=OpticsConfig(source_points=3, sigma_inner=0.0,
+                                sigma_outer=0.8, num_kernels=24))
+        kernels = build_kernels(config, cache=False)
+        assert kernels.num_kernels <= 9
+
+    def test_flipped_indexing(self, kernels32):
+        flipped = kernels32.flipped()
+        k = kernels32.freq_kernels
+        n = k.shape[-1]
+        # flipped[f] == k[-f] elementwise on the FFT grid.
+        for idx in [(0, 0), (1, 5), (7, 31)]:
+            i, j = idx
+            np.testing.assert_allclose(flipped[:, i, j],
+                                       k[:, (-i) % n, (-j) % n])
+
+    def test_spatial_kernels_centered(self, kernels32):
+        spatial = kernels32.spatial_kernels(shifted=True)
+        dominant = np.abs(spatial[0])
+        peak = np.unravel_index(dominant.argmax(), dominant.shape)
+        center = (16, 16)
+        assert abs(peak[0] - center[0]) <= 1 and abs(peak[1] - center[1]) <= 1
+
+
+class TestKernelDiskIO:
+    def test_save_load_round_trip(self, litho32, kernels32, tmp_path):
+        from repro.litho import load_kernels, save_kernels
+        path = str(tmp_path / "kernels.npz")
+        save_kernels(kernels32, path)
+        loaded = load_kernels(path, litho32)
+        np.testing.assert_allclose(loaded.freq_kernels,
+                                   kernels32.freq_kernels)
+        np.testing.assert_allclose(loaded.weights, kernels32.weights)
+
+    def test_load_rejects_config_mismatch(self, litho32, kernels32,
+                                          tmp_path):
+        from repro.litho import load_kernels, save_kernels
+        path = str(tmp_path / "kernels.npz")
+        save_kernels(kernels32, path)
+        with pytest.raises(ValueError, match="config"):
+            load_kernels(path, LithoConfig.small(64))
+
+    def test_extension_appended(self, litho32, kernels32, tmp_path):
+        from repro.litho import load_kernels, save_kernels
+        path = str(tmp_path / "kernels")
+        save_kernels(kernels32, path + ".npz")
+        loaded = load_kernels(path, litho32)
+        assert loaded.num_kernels == kernels32.num_kernels

@@ -1,0 +1,95 @@
+"""Unit tests for mask complexity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import corner_count, edge_length, shot_count_estimate
+
+
+def _rect_mask(grid=16, r0=4, r1=12, c0=2, c1=14):
+    mask = np.zeros((grid, grid))
+    mask[r0:r1, c0:c1] = 1.0
+    return mask
+
+
+class TestEdgeLength:
+    def test_single_rectangle(self):
+        mask = _rect_mask()  # 8 x 12 pixels
+        assert edge_length(mask) == 2 * (8 + 12)
+
+    def test_pixel_scaling(self):
+        mask = _rect_mask()
+        assert edge_length(mask, pixel_nm=8.0) == 2 * (8 + 12) * 8.0
+
+    def test_empty_mask(self):
+        assert edge_length(np.zeros((8, 8))) == 0.0
+
+    def test_full_mask_counts_border(self):
+        assert edge_length(np.ones((4, 4))) == 16.0
+
+    def test_rougher_mask_longer_boundary(self, rng):
+        smooth = _rect_mask()
+        rough = smooth.copy()
+        rough[4, 4:12:2] = 0.0  # serrate the top edge
+        assert edge_length(rough) > edge_length(smooth)
+
+    def test_validates_rank(self):
+        with pytest.raises(ValueError):
+            edge_length(np.zeros((2, 2, 2)))
+
+
+class TestCornerCount:
+    def test_rectangle_has_four(self):
+        assert corner_count(_rect_mask()) == 4
+
+    def test_l_shape_has_six(self):
+        mask = np.zeros((16, 16))
+        mask[4:12, 2:6] = 1.0
+        mask[8:12, 2:14] = 1.0
+        assert corner_count(mask) == 6
+
+    def test_empty(self):
+        assert corner_count(np.zeros((4, 4))) == 0
+
+    def test_single_pixel(self):
+        mask = np.zeros((4, 4))
+        mask[1, 1] = 1.0
+        assert corner_count(mask) == 4
+
+    def test_diagonal_checkerboard(self):
+        mask = np.zeros((4, 4))
+        mask[1, 1] = mask[2, 2] = 1.0
+        # Two single-pixel squares: 8 corners, the shared 2x2 window is
+        # a checkerboard contributing 2 of them.
+        assert corner_count(mask) == 8
+
+
+class TestShotCount:
+    def test_rectangle_is_one_shot(self):
+        assert shot_count_estimate(_rect_mask()) == 1
+
+    def test_two_rectangles(self):
+        mask = np.zeros((16, 16))
+        mask[2:6, 2:6] = 1.0
+        mask[10:14, 8:12] = 1.0
+        assert shot_count_estimate(mask) == 2
+
+    def test_l_shape_is_two_shots(self):
+        mask = np.zeros((16, 16))
+        mask[4:12, 2:6] = 1.0
+        mask[8:12, 2:14] = 1.0
+        assert shot_count_estimate(mask) == 2
+
+    def test_empty(self):
+        assert shot_count_estimate(np.zeros((4, 4))) == 0
+
+    def test_ilt_mask_more_complex_than_target(self, litho32, kernels32):
+        """Free-form ILT masks must cost more shots than the drawn
+        rectilinear target — the manufacturability trade the metric
+        exists to expose."""
+        from repro.ilt import ILTConfig, ILTOptimizer
+        target = _rect_mask(32, 12, 22, 4, 28)
+        result = ILTOptimizer(litho32, ILTConfig(max_iterations=60),
+                              kernels=kernels32).optimize(target)
+        assert shot_count_estimate(result.mask) >= shot_count_estimate(target)
+        assert corner_count(result.mask) >= corner_count(target)

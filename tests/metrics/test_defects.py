@@ -1,0 +1,120 @@
+"""Unit tests for neck/bridge defect detectors (Figure 2 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import detect_bridges, detect_necks
+from repro.metrics.defects import _run_lengths
+
+
+class TestRunLengths:
+    def test_horizontal_runs(self):
+        image = np.array([[1, 1, 0, 1]], dtype=bool)
+        runs = _run_lengths(image, axis=1)
+        np.testing.assert_array_equal(runs, [[2, 2, 0, 1]])
+
+    def test_vertical_runs(self):
+        image = np.array([[1], [1], [0], [1]], dtype=bool)
+        runs = _run_lengths(image, axis=0)
+        np.testing.assert_array_equal(runs.ravel(), [2, 2, 0, 1])
+
+    def test_all_off(self):
+        runs = _run_lengths(np.zeros((3, 3), dtype=bool), axis=1)
+        assert runs.sum() == 0
+
+
+class TestNeckDetection:
+    def _wire_with_neck(self):
+        target = np.zeros((16, 16))
+        target[6:10, 1:15] = 1.0  # 4px wide wire
+        wafer = target.copy()
+        wafer[6, 7:9] = 0.0  # pinch to 3px... go further
+        wafer[7, 7:9] = 0.0  # now 2px at columns 7-8
+        return wafer, target
+
+    def test_detects_pinch(self):
+        wafer, target = self._wire_with_neck()
+        defects = detect_necks(wafer, target, min_width_px=3)
+        assert len(defects) == 1
+        defect = defects[0]
+        assert defect.width_px == 2
+        assert 7 <= defect.col <= 8
+
+    def test_healthy_wire_clean(self):
+        target = np.zeros((16, 16))
+        target[6:10, 1:15] = 1.0
+        assert detect_necks(target, target, min_width_px=3) == []
+
+    def test_threshold_sensitivity(self):
+        wafer, target = self._wire_with_neck()
+        assert detect_necks(wafer, target, min_width_px=2) == []
+        assert len(detect_necks(wafer, target, min_width_px=4)) >= 1
+
+    def test_off_target_material_not_a_neck(self):
+        """Printed slivers outside any target wire are not necks (they
+        are handled by L2/bridge analysis)."""
+        target = np.zeros((16, 16))
+        target[2:6, 2:14] = 1.0
+        wafer = target.copy()
+        wafer[12, 2:5] = 1.0  # stray 1px-high sliver, off target
+        assert detect_necks(wafer, target, min_width_px=3) == []
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            detect_necks(np.zeros((4, 4)), np.zeros((5, 5)), 2)
+        with pytest.raises(ValueError):
+            detect_necks(np.zeros((4, 4)), np.zeros((4, 4)), 0)
+
+    def test_multiple_necks_reported_separately(self):
+        target = np.zeros((16, 32))
+        target[6:10, 1:31] = 1.0
+        wafer = target.copy()
+        wafer[6:8, 6:8] = 0.0    # neck 1
+        wafer[8:10, 22:24] = 0.0  # neck 2 (disconnected violation region)
+        defects = detect_necks(wafer, target, min_width_px=3)
+        assert len(defects) == 2
+
+
+class TestBridgeDetection:
+    def _two_wires(self):
+        target = np.zeros((16, 16))
+        target[3:6, 1:15] = 1.0
+        target[10:13, 1:15] = 1.0
+        return target
+
+    def test_clean_print_no_bridge(self):
+        target = self._two_wires()
+        assert detect_bridges(target, target) == []
+
+    def test_short_detected(self):
+        target = self._two_wires()
+        wafer = target.copy()
+        wafer[6:10, 7:9] = 1.0  # material connecting the wires
+        defects = detect_bridges(wafer, target)
+        assert len(defects) == 1
+        assert len(defects[0].component_labels) == 2
+
+    def test_stray_blob_touching_nothing_ignored(self):
+        target = self._two_wires()
+        wafer = target.copy()
+        wafer[7:9, 1:3] = 1.0  # blob between wires but touching neither
+        # The blob is a separate wafer component overlapping zero target
+        # components -> not a bridge.
+        wafer[6, :] = 0.0
+        wafer[9, :] = 0.0
+        assert detect_bridges(wafer, target) == []
+
+    def test_three_way_short(self):
+        target = np.zeros((24, 16))
+        target[2:5, 1:15] = 1.0
+        target[10:13, 1:15] = 1.0
+        target[18:21, 1:15] = 1.0
+        wafer = target.copy()
+        wafer[:, 7:9] = 1.0  # vertical short across all three
+        defects = detect_bridges(wafer, target)
+        assert len(defects) == 1
+        assert len(defects[0].component_labels) == 3
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            detect_bridges(np.zeros((4, 4)), np.zeros((5, 5)))

@@ -1,0 +1,89 @@
+"""Unit tests for edge placement error measurement (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Layout, Rect, rasterize
+from repro.metrics import EPEReport, EPESample, control_points, measure_epe
+
+
+def _layout_and_perfect_wafer(grid=64, extent=512.0):
+    layout = Layout(extent=extent, rects=[Rect(64, 208, 448, 288)])
+    wafer = rasterize(layout, grid, antialias=False)
+    return layout, wafer
+
+
+class TestControlPoints:
+    def test_four_edges_sampled(self):
+        points = control_points(Rect(0, 0, 100, 100), spacing=40.0,
+                                edge_margin=10.0)
+        normals = {n for _, _, n in points}
+        assert normals == {(0, -1), (0, 1), (-1, 0), (1, 0)}
+
+    def test_short_edge_gets_midpoint(self):
+        points = control_points(Rect(0, 0, 15, 15), spacing=40.0,
+                                edge_margin=10.0)
+        bottom = [(x, y) for x, y, n in points if n == (0, -1)]
+        assert bottom == [(7.5, 0.0)]
+
+    def test_spacing_respected(self):
+        points = control_points(Rect(0, 0, 200, 80), spacing=40.0,
+                                edge_margin=10.0)
+        bottom_x = sorted(x for x, y, n in points if n == (0, -1))
+        assert len(bottom_x) >= 4
+        assert all(b - a <= 41 for a, b in zip(bottom_x[:-1], bottom_x[1:]))
+
+
+class TestMeasureEPE:
+    def test_perfect_print_zero_epe(self):
+        layout, wafer = _layout_and_perfect_wafer()
+        report = measure_epe(wafer, layout, threshold=10.0)
+        assert report.violations == 0
+        assert all(abs(s.epe) < 8.0 + 1e-9 for s in report.samples)
+
+    def test_uniform_growth_positive_epe(self):
+        layout, wafer = _layout_and_perfect_wafer()
+        grown = np.zeros_like(wafer, dtype=bool)
+        # Dilate by 2 pixels (16nm) in every direction.
+        for dy in range(-2, 3):
+            for dx in range(-2, 3):
+                grown |= np.roll(np.roll(wafer.astype(bool), dy, 0), dx, 1)
+        report = measure_epe(grown.astype(float), layout, threshold=10.0)
+        outward = [s.epe for s in report.samples]
+        assert np.median(outward) >= 8.0  # ~2 px growth
+        assert report.violations > 0
+
+    def test_pullback_negative_epe(self):
+        layout = Layout(extent=512.0, rects=[Rect(64, 208, 448, 288)])
+        # Print a shorter wire: 3px (24nm) pulled back on the right end.
+        shrunk = Layout(extent=512.0, rects=[Rect(64, 208, 424, 288)])
+        wafer = rasterize(shrunk, 64, antialias=False)
+        report = measure_epe(wafer, layout, threshold=10.0)
+        right_edge = [s for s in report.samples if s.normal == (1, 0)]
+        assert all(s.epe < 0 for s in right_edge)
+        assert any(s.violates(10.0) for s in right_edge)
+
+    def test_nothing_printed_infinite_epe(self):
+        layout = Layout(extent=512.0, rects=[Rect(64, 208, 448, 288)])
+        wafer = np.zeros((64, 64))
+        report = measure_epe(wafer, layout, threshold=10.0)
+        assert report.violations == len(report.samples)
+        assert report.max_abs_epe == float("inf")
+
+    def test_report_counts(self):
+        samples = [EPESample(0, 0, (1, 0), 5.0),
+                   EPESample(0, 0, (1, 0), -15.0),
+                   EPESample(0, 0, (1, 0), 25.0)]
+        report = EPEReport(samples=samples, threshold=10.0)
+        assert report.violations == 2
+        assert report.max_abs_epe == 25.0
+
+    def test_threshold_changes_violations(self):
+        layout, wafer = _layout_and_perfect_wafer()
+        grown = np.zeros_like(wafer, dtype=bool)
+        for dy in range(-2, 3):
+            for dx in range(-2, 3):
+                grown |= np.roll(np.roll(wafer.astype(bool), dy, 0), dx, 1)
+        strict = measure_epe(grown.astype(float), layout, threshold=8.0)
+        loose = measure_epe(grown.astype(float), layout, threshold=40.0)
+        assert strict.violations > loose.violations

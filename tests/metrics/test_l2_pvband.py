@@ -1,0 +1,67 @@
+"""Unit tests for L2 (Definition 1) and PV band metrics."""
+
+import numpy as np
+import pytest
+
+from repro.litho import ProcessCorners
+from repro.metrics import (mask_pv_band, pv_band, pv_band_nm2, squared_l2,
+                           squared_l2_nm2)
+
+
+class TestSquaredL2:
+    def test_zero_for_identical(self):
+        image = np.ones((8, 8))
+        assert squared_l2(image, image) == 0.0
+
+    def test_equals_xor_count_for_binary(self, rng):
+        a = (rng.random((16, 16)) > 0.5).astype(float)
+        b = (rng.random((16, 16)) > 0.5).astype(float)
+        assert squared_l2(a, b) == np.logical_xor(a > 0, b > 0).sum()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            squared_l2(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_nm2_scaling(self):
+        a = np.zeros((4, 4))
+        b = a.copy()
+        b[0, 0] = 1.0
+        assert squared_l2_nm2(a, b, pixel_nm=8.0) == 64.0
+
+    def test_symmetry(self, rng):
+        a = rng.random((8, 8))
+        b = rng.random((8, 8))
+        assert squared_l2(a, b) == squared_l2(b, a)
+
+
+class TestPVBand:
+    def _corners(self, inner, outer):
+        return ProcessCorners(nominal=outer, inner=inner, outer=outer)
+
+    def test_zero_when_corners_agree(self):
+        image = np.ones((4, 4))
+        corners = ProcessCorners(nominal=image, inner=image, outer=image)
+        assert pv_band(corners) == 0.0
+
+    def test_counts_band_pixels(self):
+        inner = np.zeros((4, 4))
+        outer = np.zeros((4, 4))
+        outer[1:3, 1:3] = 1.0
+        corners = ProcessCorners(nominal=outer, inner=inner, outer=outer)
+        assert pv_band(corners) == 4.0
+        assert pv_band_nm2(corners, 8.0) == 256.0
+
+    def test_shape_mismatch_raises(self):
+        corners = ProcessCorners(nominal=np.zeros((4, 4)),
+                                 inner=np.zeros((4, 4)),
+                                 outer=np.zeros((5, 5)))
+        with pytest.raises(ValueError):
+            pv_band(corners)
+
+    def test_mask_pv_band_positive_for_printing_mask(self, sim64):
+        mask = np.zeros((64, 64))
+        mask[27:37, 8:56] = 1.0
+        assert mask_pv_band(sim64, mask) > 0.0
+
+    def test_empty_mask_zero_band(self, sim64):
+        assert mask_pv_band(sim64, np.zeros((64, 64))) == 0.0

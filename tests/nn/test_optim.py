@@ -1,0 +1,152 @@
+"""Unit tests for optimizers and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.modules import Parameter
+
+
+def _quadratic_param(start=5.0):
+    return Parameter(np.array([start]))
+
+
+def _step(param, opt, steps=1):
+    for _ in range(steps):
+        opt.zero_grad()
+        # loss = 0.5 * p^2, grad = p
+        param.grad = param.data.copy()
+        opt.step()
+
+
+class TestOptimizerBase:
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_requires_positive_lr(self):
+        with pytest.raises(ValueError):
+            nn.SGD([_quadratic_param()], lr=0.0)
+
+    def test_zero_grad(self):
+        p = _quadratic_param()
+        p.grad = np.array([1.0])
+        opt = nn.SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_skips_parameters_without_grad(self):
+        p = _quadratic_param()
+        opt = nn.SGD([p], lr=0.1)
+        opt.step()  # no grad set: must not crash or move
+        np.testing.assert_allclose(p.data, [5.0])
+
+
+class TestSGD:
+    def test_vanilla_update(self):
+        p = _quadratic_param(4.0)
+        opt = nn.SGD([p], lr=0.25)
+        _step(p, opt)
+        np.testing.assert_allclose(p.data, [3.0])
+
+    def test_momentum_accumulates(self):
+        p = _quadratic_param(1.0)
+        opt = nn.SGD([p], lr=0.1, momentum=0.9)
+        p.grad = np.array([1.0]); opt.step()
+        np.testing.assert_allclose(p.data, [0.9])
+        p.grad = np.array([1.0]); opt.step()
+        # velocity = 0.9*(-0.1) ... v1=-0.1 -> p 0.9; v2 = 0.9*v1 - ...
+        # v2 = 0.9*(-0.1) + (-0.1) = -0.19 -> p = 0.71
+        np.testing.assert_allclose(p.data, [0.71])
+
+    def test_weight_decay(self):
+        p = _quadratic_param(1.0)
+        opt = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.9])
+
+    def test_validates_momentum(self):
+        with pytest.raises(ValueError):
+            nn.SGD([_quadratic_param()], lr=0.1, momentum=1.0)
+
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param(10.0)
+        opt = nn.SGD([p], lr=0.3, momentum=0.5)
+        _step(p, opt, steps=60)
+        assert abs(float(p.data[0])) < 1e-3
+
+    def test_state_dict_roundtrip(self):
+        p = _quadratic_param()
+        opt = nn.SGD([p], lr=0.1, momentum=0.9)
+        _step(p, opt, 3)
+        state = opt.state_dict()
+        opt2 = nn.SGD([p], lr=0.5, momentum=0.1)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.1
+        assert opt2.momentum == 0.9
+        np.testing.assert_allclose(opt2._velocity[0], opt._velocity[0])
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, |first step| ~= lr regardless of grad scale.
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter(np.array([0.0]))
+            opt = nn.Adam([p], lr=0.1)
+            p.grad = np.array([scale])
+            opt.step()
+            np.testing.assert_allclose(abs(p.data[0]), 0.1, rtol=1e-4)
+
+    def test_converges_on_quadratic(self):
+        p = _quadratic_param(3.0)
+        opt = nn.Adam([p], lr=0.2)
+        _step(p, opt, steps=150)
+        assert abs(float(p.data[0])) < 2e-2
+
+    def test_validates_betas(self):
+        with pytest.raises(ValueError):
+            nn.Adam([_quadratic_param()], lr=0.1, betas=(1.0, 0.999))
+
+    def test_weight_decay_moves_toward_zero(self):
+        p = _quadratic_param(1.0)
+        opt = nn.Adam([p], lr=0.01, weight_decay=10.0)
+        p.grad = np.array([0.0])
+        opt.step()
+        assert float(p.data[0]) < 1.0
+
+    def test_state_dict_roundtrip(self):
+        p = _quadratic_param()
+        opt = nn.Adam([p], lr=0.1)
+        _step(p, opt, 5)
+        state = opt.state_dict()
+        opt2 = nn.Adam([p], lr=0.9)
+        opt2.load_state_dict(state)
+        assert opt2._step_count == 5
+        np.testing.assert_allclose(opt2._m[0], opt._m[0])
+        np.testing.assert_allclose(opt2._v[0], opt._v[0])
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = _quadratic_param()
+        opt = nn.SGD([p], lr=1.0)
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        np.testing.assert_allclose(opt.lr, 0.1)
+        sched.step(); sched.step()
+        np.testing.assert_allclose(opt.lr, 0.01)
+
+    def test_step_lr_validates(self):
+        with pytest.raises(ValueError):
+            nn.StepLR(nn.SGD([_quadratic_param()], lr=1.0), step_size=0)
+
+    def test_exponential_lr(self):
+        opt = nn.SGD([_quadratic_param()], lr=2.0)
+        sched = nn.ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        np.testing.assert_allclose(opt.lr, 1.0)
+        sched.step()
+        np.testing.assert_allclose(opt.lr, 0.5)

@@ -1,0 +1,49 @@
+"""Unit tests for module checkpointing."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.tensor import Tensor
+
+
+def _net(seed):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(),
+                         nn.Linear(8, 2, rng=rng))
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        net_a, net_b = _net(1), _net(2)
+        nn.save_state(net_a, path)
+        nn.load_state(net_b, path)
+        x = Tensor(np.random.default_rng(0).random((3, 4)))
+        np.testing.assert_allclose(net_a(x).data, net_b(x).data)
+
+    def test_extension_appended_on_load(self, tmp_path):
+        path = str(tmp_path / "ckpt")
+        net = _net(1)
+        nn.save_state(net, path)  # numpy appends .npz
+        other = _net(2)
+        nn.load_state(other, path)  # should find ckpt.npz
+        np.testing.assert_allclose(
+            dict(net.named_parameters())["0.weight"].data,
+            dict(other.named_parameters())["0.weight"].data)
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "ckpt.npz")
+        nn.save_state(_net(1), path)
+        import os
+        assert os.path.exists(path)
+
+    def test_batchnorm_buffers_preserved(self, tmp_path):
+        rng = np.random.default_rng(0)
+        bn = nn.BatchNorm2d(3)
+        bn(Tensor(rng.normal(2.0, 1.0, size=(8, 3, 4, 4))))  # update stats
+        path = str(tmp_path / "bn.npz")
+        nn.save_state(bn, path)
+        fresh = nn.BatchNorm2d(3)
+        nn.load_state(fresh, path)
+        np.testing.assert_allclose(fresh.running_mean, bn.running_mean)
+        np.testing.assert_allclose(fresh.running_var, bn.running_var)

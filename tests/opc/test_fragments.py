@@ -1,0 +1,81 @@
+"""Unit tests for edge fragmentation."""
+
+import pytest
+
+from repro.geometry import Layout, Rect
+from repro.opc import EdgeSegment, fragment_layout, fragment_rect
+
+
+class TestFragmentRect:
+    def test_small_rect_one_fragment_per_edge(self):
+        rect = Rect(0, 0, 30, 30)
+        segments = fragment_rect(rect, 0, max_fragment=40.0)
+        assert len(segments) == 4
+        normals = {s.normal for s in segments}
+        assert normals == {(0, -1), (0, 1), (-1, 0), (1, 0)}
+
+    def test_long_edges_fractured(self):
+        rect = Rect(0, 0, 100, 30)
+        segments = fragment_rect(rect, 0, max_fragment=40.0)
+        horizontal_edges = [s for s in segments if s.normal[1] != 0]
+        # 100nm edge at <=40nm pitch -> 3 fragments per horizontal edge.
+        assert len(horizontal_edges) == 6
+
+    def test_fragment_lengths_bounded(self):
+        segments = fragment_rect(Rect(0, 0, 130, 80), 0, max_fragment=40.0)
+        assert all(s.length <= 40.0 + 1e-9 for s in segments)
+
+    def test_fragments_tile_each_edge(self):
+        rect = Rect(0, 0, 100, 60)
+        segments = fragment_rect(rect, 3, max_fragment=30.0)
+        bottom = sorted((s for s in segments if s.normal == (0, -1)),
+                        key=lambda s: s.start[0])
+        assert bottom[0].start[0] == 0.0
+        assert bottom[-1].end[0] == 100.0
+        for a, b in zip(bottom[:-1], bottom[1:]):
+            assert a.end[0] == b.start[0]
+        assert all(s.rect_index == 3 for s in segments)
+
+    def test_invalid_pitch(self):
+        with pytest.raises(ValueError):
+            fragment_rect(Rect(0, 0, 10, 10), 0, max_fragment=0.0)
+
+
+class TestEdgeSegment:
+    def test_midpoint(self):
+        seg = EdgeSegment(0, (0, 0), (40, 0), (0, -1))
+        assert seg.midpoint == (20.0, 0.0)
+
+    def test_with_offset_immutably(self):
+        seg = EdgeSegment(0, (0, 0), (40, 0), (0, -1))
+        moved = seg.with_offset(5.0)
+        assert moved.offset == 5.0
+        assert seg.offset == 0.0
+
+    def test_moved_strip_outward(self):
+        seg = EdgeSegment(0, (0, 10), (40, 10), (0, 1), offset=6.0)
+        strip = seg.moved_strip()
+        assert strip == Rect(0, 10, 40, 16)
+
+    def test_moved_strip_inward(self):
+        seg = EdgeSegment(0, (0, 10), (40, 10), (0, 1), offset=-6.0)
+        strip = seg.moved_strip()
+        assert strip == Rect(0, 4, 40, 10)
+
+    def test_moved_strip_vertical_edge(self):
+        seg = EdgeSegment(0, (10, 0), (10, 40), (-1, 0), offset=5.0)
+        assert seg.moved_strip() == Rect(5, 0, 10, 40)
+
+    def test_zero_offset_strip_rejected(self):
+        seg = EdgeSegment(0, (0, 0), (40, 0), (0, -1))
+        with pytest.raises(ValueError):
+            seg.moved_strip()
+
+
+class TestFragmentLayout:
+    def test_all_rects_covered(self):
+        layout = Layout(extent=500.0, rects=[Rect(0, 0, 100, 80),
+                                             Rect(200, 200, 280, 400)])
+        segments = fragment_layout(layout, max_fragment=40.0)
+        indices = {s.rect_index for s in segments}
+        assert indices == {0, 1}

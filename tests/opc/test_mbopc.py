@@ -1,0 +1,88 @@
+"""Unit tests for the model-based OPC engine."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Layout, Rect
+from repro.ilt.gradient import discrete_l2
+from repro.opc import MbOpcConfig, ModelBasedOPC
+
+
+@pytest.fixture(scope="module")
+def engine(litho64, kernels64):
+    return ModelBasedOPC(litho64, MbOpcConfig(iterations=5),
+                         kernels=kernels64)
+
+
+def _clip(extent=512.0):
+    return Layout(extent=extent, rects=[
+        Rect(80, 104, 432, 184),
+        Rect(80, 304, 432, 384),
+    ], name="mbopc-test")
+
+
+class TestMbOpcConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"iterations": 0},
+        {"gain": 0.0},
+        {"gain": 2.0},
+        {"max_offset": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MbOpcConfig(**kwargs)
+
+
+class TestMaskAssembly:
+    def test_zero_offsets_reproduce_target(self, engine):
+        from repro.geometry import rasterize
+        from repro.opc import fragment_layout
+        layout = _clip()
+        segments = fragment_layout(layout, 40.0)
+        mask = engine.mask_from_segments(layout, segments)
+        target = (rasterize(layout, 64) >= 0.5).astype(float)
+        np.testing.assert_array_equal(mask, target)
+
+    def test_positive_offset_grows_mask(self, engine):
+        from repro.opc import fragment_layout
+        layout = _clip()
+        segments = [s.with_offset(16.0) for s in fragment_layout(layout, 40.0)]
+        grown = engine.mask_from_segments(layout, segments)
+        zero = engine.mask_from_segments(
+            layout, fragment_layout(layout, 40.0))
+        assert grown.sum() > zero.sum()
+
+    def test_negative_offset_shrinks_mask(self, engine):
+        from repro.opc import fragment_layout
+        layout = _clip()
+        segments = [s.with_offset(-16.0) for s in fragment_layout(layout, 40.0)]
+        shrunk = engine.mask_from_segments(layout, segments)
+        zero = engine.mask_from_segments(
+            layout, fragment_layout(layout, 40.0))
+        assert shrunk.sum() < zero.sum()
+
+
+class TestOptimize:
+    def test_improves_printability(self, engine, sim64):
+        """MB-OPC must beat printing the raw target (the Figure 1
+        'conventional flow works' check)."""
+        from repro.geometry import rasterize
+        layout = _clip()
+        target = (rasterize(layout, 64) >= 0.5).astype(float)
+        baseline = discrete_l2(sim64.wafer_image(target), target)
+        result = engine.optimize(layout)
+        assert result.l2 < baseline
+
+    def test_histories_and_runtime(self, engine):
+        result = engine.optimize(_clip())
+        assert len(result.l2_history) == engine.config.iterations + 1
+        assert result.runtime_seconds > 0
+
+    def test_offsets_clamped(self, engine):
+        result = engine.optimize(_clip())
+        limit = engine.config.max_offset
+        assert all(abs(s.offset) <= limit + 1e-9 for s in result.segments)
+
+    def test_mask_binary(self, engine):
+        result = engine.optimize(_clip())
+        assert set(np.unique(result.mask)) <= {0.0, 1.0}

@@ -1,0 +1,101 @@
+"""Integration tests for the command-line interface."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.cli import main
+from repro.core import GanOpcConfig, MaskGenerator
+from repro.geometry import glp
+
+
+@pytest.fixture()
+def clip_file(tmp_path):
+    """Synthesize one clip via the CLI and return its path."""
+    prefix = str(tmp_path / "clip-")
+    assert main(["synthesize", "--count", "1", "--seed", "3",
+                 "--grid", "64", "--prefix", prefix]) == 0
+    path = prefix + "0000.glp"
+    assert os.path.exists(path)
+    return path
+
+
+class TestSynthesize:
+    def test_writes_valid_glp(self, clip_file):
+        layout = glp.load(clip_file)
+        assert len(layout) >= 1
+        layout.validate()
+
+    def test_count(self, tmp_path, capsys):
+        prefix = str(tmp_path / "c-")
+        main(["synthesize", "--count", "3", "--grid", "64",
+              "--prefix", prefix])
+        assert all(os.path.exists(f"{prefix}{i:04d}.glp") for i in range(3))
+
+
+class TestSimulate:
+    def test_metrics_printed(self, clip_file, capsys):
+        assert main(["simulate", clip_file, "--grid", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "l2_nm2" in out and "pvband_nm2" in out
+
+    def test_wafer_written(self, clip_file, tmp_path):
+        out = str(tmp_path / "wafer.pgm")
+        main(["simulate", clip_file, "--grid", "64", "--out", out])
+        from repro.bench import read_pgm
+        assert read_pgm(out).shape == (64, 64)
+
+    def test_mask_shape_mismatch_fails(self, clip_file, tmp_path, capsys):
+        from repro.bench import write_pgm
+        bad = str(tmp_path / "bad.pgm")
+        write_pgm(np.zeros((16, 16)), bad)
+        assert main(["simulate", clip_file, "--grid", "64",
+                     "--mask", bad]) == 2
+
+
+class TestIlt:
+    def test_optimizes_and_writes_mask(self, clip_file, tmp_path, capsys):
+        out = str(tmp_path / "mask.pgm")
+        assert main(["ilt", clip_file, "--grid", "64",
+                     "--iterations", "20", "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "iterations: " in stdout
+        from repro.bench import read_pgm
+        mask = read_pgm(out)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+
+
+class TestSraf:
+    def test_inserts_bars(self, clip_file, tmp_path, capsys):
+        out = str(tmp_path / "assisted.glp")
+        assert main(["sraf", clip_file, "--out", out]) == 0
+        assisted = glp.load(out)
+        original = glp.load(clip_file)
+        assert len(assisted) >= len(original)
+
+
+class TestFlow:
+    def test_runs_with_checkpoint(self, clip_file, tmp_path, capsys):
+        config = GanOpcConfig.small(64)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(0))
+        ckpt = str(tmp_path / "gen.npz")
+        nn.save_state(generator, ckpt)
+        out = str(tmp_path / "mask.pgm")
+        assert main(["flow", clip_file, ckpt, "--grid", "64",
+                     "--iterations", "10", "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "generation: " in stdout
+        assert os.path.exists(out)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
