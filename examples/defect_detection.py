@@ -9,7 +9,6 @@ of which detector catches what.
 Run:  python examples/defect_detection.py
 """
 
-import numpy as np
 
 from repro.geometry import Layout, Rect, rasterize
 from repro.metrics import detect_bridges, detect_necks, measure_epe

@@ -8,7 +8,6 @@ ILT-optimized mask for the same clip.
 Run:  python examples/process_window_study.py
 """
 
-import numpy as np
 
 from repro.geometry import Layout, Rect, binarize, rasterize
 from repro.ilt import ILTConfig, ILTOptimizer

@@ -34,6 +34,7 @@ from ..geometry.raster import rasterize
 from ..ilt.optimizer import ILTConfig, ILTOptimizer
 from ..layoutgen.dataset import SyntheticDataset
 from ..litho.config import LithoConfig
+from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
 from ..litho.simulator import LithoSimulator
 from ..metrics.defects import detect_bridges, detect_necks
@@ -90,11 +91,18 @@ class ExperimentConfig:
 
 @dataclass
 class Pipeline:
-    """Shared experiment state: litho model, dataset, kernel cache."""
+    """Shared experiment state: litho model, dataset, one shared engine.
+
+    The :class:`LithoEngine` is constructed once and every consumer —
+    simulator, ILT baseline, flow refiners, pre-trainer — runs on it,
+    so kernels are decomposed once and the cached adjoint spectra are
+    shared across all clips of every experiment.
+    """
 
     config: ExperimentConfig
     litho: LithoConfig
     kernels: KernelSet
+    engine: LithoEngine
     dataset: SyntheticDataset
     simulator: LithoSimulator
 
@@ -103,11 +111,12 @@ class Pipeline:
         config = config or ExperimentConfig()
         litho = LithoConfig.small(config.grid)
         kernels = build_kernels(litho)
+        engine = LithoEngine.for_kernels(kernels)
         dataset = SyntheticDataset(litho, size=config.dataset_size,
                                    seed=config.seed, kernels=kernels)
         return Pipeline(config=config, litho=litho, kernels=kernels,
-                        dataset=dataset,
-                        simulator=LithoSimulator(litho, kernels))
+                        engine=engine, dataset=dataset,
+                        simulator=LithoSimulator(litho, engine=engine))
 
     def gan_config(self) -> GanOpcConfig:
         return GanOpcConfig.small(self.config.grid)
@@ -149,7 +158,7 @@ def train_generators(pipeline: Pipeline,
     gen_pgan = MaskGenerator(gan_cfg.generator_channels,
                              rng=np.random.default_rng(cfg.seed + 1))
     pretrainer = ILTGuidedPretrainer(gen_pgan, pipeline.litho, gan_cfg,
-                                     kernels=pipeline.kernels)
+                                     engine=pipeline.engine)
     pretrain_history = pretrainer.train(
         pipeline.dataset, cfg.pretrain_iterations,
         rng=np.random.default_rng(cfg.seed + 4), verbose=verbose)
@@ -198,13 +207,13 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
 
     ilt = ILTOptimizer(pipeline.litho,
                        ILTConfig(max_iterations=cfg.ilt_iterations),
-                       kernels=pipeline.kernels)
+                       engine=pipeline.engine)
     refine_cfg = ILTConfig(max_iterations=cfg.refine_iterations, patience=4)
     flows = {
         "GAN-OPC": GanOpcFlow(generators.gan, pipeline.litho, refine_cfg,
-                              kernels=pipeline.kernels),
+                              engine=pipeline.engine),
         "PGAN-OPC": GanOpcFlow(generators.pgan, pipeline.litho, refine_cfg,
-                               kernels=pipeline.kernels),
+                               engine=pipeline.engine),
     }
 
     columns: Dict[str, List[MaskEvaluation]] = {

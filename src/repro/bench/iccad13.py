@@ -19,7 +19,7 @@ EXPERIMENTS.md-style paper-vs-measured comparisons.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

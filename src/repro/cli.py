@@ -27,6 +27,17 @@ def _litho(args):
     return LithoConfig.small(args.grid)
 
 
+def _engine(litho):
+    """One shared engine per CLI invocation.
+
+    Kernel construction goes through the two-level ``build_kernels``
+    cache (in-process + on-disk), so repeated CLI runs at the same
+    settings skip the eigendecomposition entirely.
+    """
+    from .litho import LithoEngine, build_kernels
+    return LithoEngine.for_kernels(build_kernels(litho))
+
+
 def _load_target(path: str, grid: int):
     from .geometry import binarize, glp, rasterize
     layout = glp.load(path)
@@ -66,7 +77,7 @@ def cmd_simulate(args) -> int:
             return 2
     else:
         mask = target
-    simulator = LithoSimulator(litho)
+    simulator = LithoSimulator(litho, engine=_engine(litho))
     evaluation = evaluate_mask(simulator, mask, target, layout=layout,
                                name=layout.name or "clip")
     for key, value in evaluation.as_dict().items():
@@ -84,10 +95,13 @@ def cmd_ilt(args) -> int:
     from .metrics import evaluate_mask
 
     litho = _litho(args)
+    engine = _engine(litho)
     layout, target = _load_target(args.clip, litho.grid)
-    optimizer = ILTOptimizer(litho, ILTConfig(max_iterations=args.iterations))
+    optimizer = ILTOptimizer(litho, ILTConfig(max_iterations=args.iterations),
+                             engine=engine)
     result = optimizer.optimize(target)
-    evaluation = evaluate_mask(LithoSimulator(litho), result.mask, target,
+    evaluation = evaluate_mask(LithoSimulator(litho, engine=engine),
+                               result.mask, target,
                                layout=layout, name=layout.name or "clip",
                                runtime_seconds=result.runtime_seconds)
     print(f"iterations: {result.iterations} (converged={result.converged})")
@@ -120,15 +134,18 @@ def cmd_flow(args) -> int:
     from .metrics import evaluate_mask
 
     litho = _litho(args)
+    engine = _engine(litho)
     layout, target = _load_target(args.clip, litho.grid)
     config = GanOpcConfig.small(litho.grid)
     generator = MaskGenerator(config.generator_channels,
                               rng=np.random.default_rng(0))
     nn.load_state(generator, args.checkpoint)
     flow = GanOpcFlow(generator, litho,
-                      ILTConfig(max_iterations=args.iterations, patience=4))
+                      ILTConfig(max_iterations=args.iterations, patience=4),
+                      engine=engine)
     result = flow.optimize(target)
-    evaluation = evaluate_mask(LithoSimulator(litho), result.mask, target,
+    evaluation = evaluate_mask(LithoSimulator(litho, engine=engine),
+                               result.mask, target,
                                layout=layout, name=layout.name or "clip",
                                runtime_seconds=result.runtime_seconds)
     print(f"generation: {result.generation_seconds:.3f}s, "

@@ -9,7 +9,7 @@ CPU-sized experiments (the default for tests and benchmarks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 

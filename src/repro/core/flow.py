@@ -18,6 +18,7 @@ import numpy as np
 
 from ..ilt.optimizer import ILTConfig, ILTOptimizer, ILTResult
 from ..litho.config import LithoConfig
+from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
 from .generator import MaskGenerator
 
@@ -70,14 +71,18 @@ class GanOpcFlow:
     def __init__(self, generator: MaskGenerator,
                  litho_config: Optional[LithoConfig] = None,
                  refine_config: Optional[ILTConfig] = None,
-                 kernels: Optional[KernelSet] = None):
+                 kernels: Optional[KernelSet] = None,
+                 engine: Optional[LithoEngine] = None):
         self.generator = generator
         self.litho_config = litho_config or LithoConfig.paper()
-        kernels = kernels or build_kernels(self.litho_config)
+        if engine is None:
+            engine = LithoEngine.for_kernels(
+                kernels or build_kernels(self.litho_config))
+        self.engine = engine
         self.refiner = ILTOptimizer(
             self.litho_config,
             refine_config or ILTConfig(max_iterations=50, patience=4),
-            kernels=kernels)
+            engine=engine)
 
     def optimize(self, target: np.ndarray,
                  refine_iterations: Optional[int] = None) -> FlowResult:

@@ -30,8 +30,8 @@ from typing import List, Optional
 import numpy as np
 
 from .. import nn
-from ..ilt.gradient import litho_error_and_gradient_wrt_mask
 from ..litho.config import LithoConfig
+from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
 from ..layoutgen.dataset import SyntheticDataset
 from .config import GanOpcConfig
@@ -68,11 +68,16 @@ class ILTGuidedPretrainer:
     def __init__(self, generator: MaskGenerator,
                  litho_config: Optional[LithoConfig] = None,
                  config: Optional[GanOpcConfig] = None,
-                 kernels: Optional[KernelSet] = None):
+                 kernels: Optional[KernelSet] = None,
+                 engine: Optional[LithoEngine] = None):
         self.generator = generator
         self.litho_config = litho_config or LithoConfig.paper()
         self.config = config or GanOpcConfig()
-        self.kernels = kernels or build_kernels(self.litho_config)
+        if engine is None:
+            engine = LithoEngine.for_kernels(
+                kernels or build_kernels(self.litho_config))
+        self.engine = engine
+        self.kernels = engine.kernels
         self.optimizer = nn.Adam(generator.parameters(),
                                  lr=self.config.pretrain_learning_rate)
 
@@ -81,18 +86,15 @@ class ILTGuidedPretrainer:
 
         Returns ``(errors, gradients)`` with gradients shaped like the
         mask batch.  The generator output is already sigmoid-bounded, so
-        it plays the role of the relaxed mask ``M_b`` directly.
+        it plays the role of the relaxed mask ``M_b`` directly.  The
+        whole mini-batch goes through the engine's batched forward and
+        adjoint FFT pipeline in one call (no per-sample loop).
         """
         cfg = self.litho_config
-        gradients = np.zeros_like(masks)
-        errors = np.zeros(len(masks))
-        for i in range(len(masks)):
-            error, grad = litho_error_and_gradient_wrt_mask(
-                masks[i, 0], targets[i, 0], self.kernels,
-                cfg.threshold, cfg.resist_steepness)
-            errors[i] = error
-            gradients[i, 0] = grad
-        return errors, gradients
+        errors, gradients = self.engine.error_and_gradient_wrt_mask(
+            masks[:, 0], targets[:, 0], threshold=cfg.threshold,
+            resist_steepness=cfg.resist_steepness)
+        return errors, gradients[:, None]
 
     def step(self, targets: np.ndarray) -> float:
         """One Algorithm 2 iteration on a target batch; returns the

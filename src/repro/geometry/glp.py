@@ -15,7 +15,7 @@ Blank lines and ``#`` comments are ignored.  Coordinates are nm floats.
 from __future__ import annotations
 
 import os
-from typing import List, TextIO, Union
+from typing import TextIO, Union
 
 from .layout import Layout
 from .shapes import Rect

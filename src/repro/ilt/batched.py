@@ -7,10 +7,14 @@ into one ``(N, grid, grid)`` array and batching every FFT gives a large
 constant-factor speedup on CPU (and mirrors how a GPU implementation
 would batch).
 
-Semantics match running :class:`~repro.ilt.optimizer.ILTOptimizer`
-per-clip with the same step/momentum settings, except early stopping is
-per-batch (all clips run the same number of iterations) and the best
-discrete mask is tracked per clip.
+This module is a loop-free wrapper over the shared
+:class:`~repro.litho.engine.LithoEngine` — the engine owns the batched
+forward/adjoint physics; only the descent schedule and best-discrete
+bookkeeping live here.  Semantics match running
+:class:`~repro.ilt.optimizer.ILTOptimizer` per-clip with the same
+step/momentum settings, except early stopping is per-batch (all clips
+run the same number of iterations) and the best discrete mask is
+tracked per clip.
 """
 
 from __future__ import annotations
@@ -22,8 +26,8 @@ from typing import List, Optional
 import numpy as np
 
 from ..litho.config import LithoConfig
+from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
-from ..litho.resist import binarize_mask, hard_resist, sigmoid_mask, _stable_sigmoid
 from .optimizer import ILTConfig
 
 
@@ -43,51 +47,27 @@ class BatchedILTOptimizer:
 
     def __init__(self, litho_config: Optional[LithoConfig] = None,
                  config: Optional[ILTConfig] = None,
-                 kernels: Optional[KernelSet] = None):
+                 kernels: Optional[KernelSet] = None,
+                 engine: Optional[LithoEngine] = None):
         self.litho_config = litho_config or LithoConfig.paper()
         self.config = config or ILTConfig()
-        self.kernels = kernels or build_kernels(self.litho_config)
+        if engine is None:
+            engine = LithoEngine.for_kernels(
+                kernels or build_kernels(self.litho_config))
+        self.engine = engine
+        self.kernels = engine.kernels
 
     # ------------------------------------------------------------------
-    def _wafer_batch(self, masks: np.ndarray, relaxed: bool) -> np.ndarray:
-        """Hard or sigmoid wafer images for a mask batch (N, g, g)."""
-        cfg = self.litho_config
-        spectrum = np.fft.fft2(masks, axes=(-2, -1))
-        fields = np.fft.ifft2(spectrum[:, None] * self.kernels.freq_kernels[None],
-                              axes=(-2, -1))
-        intensity = np.einsum("k,nkxy->nxy", self.kernels.weights,
-                              np.abs(fields) ** 2)
-        if relaxed:
-            return _stable_sigmoid(cfg.resist_steepness
-                                   * (intensity - cfg.threshold)), fields
-        return hard_resist(intensity, cfg.threshold), fields
-
     def _error_and_gradient(self, params: np.ndarray, targets: np.ndarray):
         cfg = self.litho_config
-        relaxed_masks = sigmoid_mask(params, cfg.mask_steepness)
-        wafer, fields = self._wafer_batch(relaxed_masks, relaxed=True)
-        diff = wafer - targets
-        errors = np.sum(diff * diff, axis=(-2, -1))
-
-        grad_intensity = (2.0 * cfg.resist_steepness * diff
-                          * wafer * (1.0 - wafer))
-        weighted = grad_intensity[:, None] * np.conj(fields)
-        flipped = self.kernels.flipped()
-        grad_fields = np.fft.ifft2(
-            np.fft.fft2(weighted, axes=(-2, -1)) * flipped[None],
-            axes=(-2, -1))
-        grad_mb = 2.0 * np.einsum("k,nkxy->nxy", self.kernels.weights,
-                                  grad_fields.real)
-        grad = (cfg.mask_steepness * relaxed_masks * (1.0 - relaxed_masks)
-                * grad_mb)
-        return errors, grad
+        return self.engine.error_and_gradient(
+            params, targets, threshold=cfg.threshold,
+            resist_steepness=cfg.resist_steepness,
+            mask_steepness=cfg.mask_steepness)
 
     def _discrete_scores(self, params: np.ndarray, targets: np.ndarray):
-        masks = binarize_mask(sigmoid_mask(params,
-                                           self.litho_config.mask_steepness))
-        wafer, _ = self._wafer_batch(masks, relaxed=False)
-        diff = wafer - targets
-        return masks, np.sum(diff * diff, axis=(-2, -1))
+        return self.engine.binarized_score(
+            params, targets, mask_steepness=self.litho_config.mask_steepness)
 
     # ------------------------------------------------------------------
     def optimize(self, targets: np.ndarray,

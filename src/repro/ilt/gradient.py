@@ -18,22 +18,31 @@ frequency response of the *adjoint* (correlation) operator; for the
 symmetric sources used here it coincides with the paper's pairing of
 ``H`` and ``H*`` terms.  The implementation is verified against finite
 differences in the test suite.
+
+The FFT pipeline itself lives in
+:class:`~repro.litho.engine.LithoEngine`; these functions are the
+kernel-set-centric facade kept for the ILT optimizers, Algorithm 2 and
+external callers.  Both accept a single ``(H, W)`` mask (returning
+``(float, (H, W))``) or a batched ``(N, H, W)`` stack (returning
+``((N,), (N, H, W))``).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple, Union
 
 import numpy as np
 
+from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet
-from ..litho.resist import sigmoid_mask, sigmoid_resist, _stable_sigmoid
+
+ErrorT = Union[float, np.ndarray]
 
 
 def litho_error_and_gradient_wrt_mask(
         mask_relaxed: np.ndarray, target: np.ndarray, kernels: KernelSet,
         threshold: float, resist_steepness: float,
-        dose: float = 1.0) -> Tuple[float, np.ndarray]:
+        dose: float = 1.0) -> Tuple[ErrorT, np.ndarray]:
     """Relaxed litho error ``E`` and its gradient w.r.t. the (relaxed)
     mask image ``M_b``.
 
@@ -41,42 +50,21 @@ def litho_error_and_gradient_wrt_mask(
     (``dE/dM`` with ``M`` the network output), and the inner term of the
     full ILT gradient.
     """
-    target = np.asarray(target, dtype=float)
-    spectrum = np.fft.fft2(mask_relaxed)
-    fields = np.fft.ifft2(spectrum[None] * kernels.freq_kernels, axes=(-2, -1))
-    intensity = np.einsum("k,kxy->xy", kernels.weights, np.abs(fields) ** 2)
-    if dose != 1.0:
-        intensity = intensity * dose
-    wafer = _stable_sigmoid(resist_steepness * (intensity - threshold))
-
-    diff = wafer - target
-    error = float(np.sum(diff * diff))
-
-    # dE/dI, including the resist sigmoid slope.
-    grad_intensity = 2.0 * resist_steepness * diff * wafer * (1.0 - wafer)
-    if dose != 1.0:
-        grad_intensity = grad_intensity * dose
-
-    # Adjoint push through each coherent system.
-    flipped = kernels.flipped()
-    weighted = grad_intensity[None] * np.conj(fields)
-    grad_mask = np.fft.ifft2(np.fft.fft2(weighted, axes=(-2, -1)) * flipped,
-                             axes=(-2, -1))
-    grad_mask = 2.0 * np.einsum("k,kxy->xy", kernels.weights, grad_mask.real)
-    return error, grad_mask
+    return LithoEngine.for_kernels(kernels).error_and_gradient_wrt_mask(
+        mask_relaxed, target, threshold=threshold,
+        resist_steepness=resist_steepness, dose=dose)
 
 
 def litho_error_and_gradient(
         mask_params: np.ndarray, target: np.ndarray, kernels: KernelSet,
         threshold: float, resist_steepness: float, mask_steepness: float,
-        dose: float = 1.0) -> Tuple[float, np.ndarray]:
+        dose: float = 1.0) -> Tuple[ErrorT, np.ndarray]:
     """Relaxed litho error and gradient w.r.t. unconstrained ILT
     parameters ``M`` (Eq. 14 in full, including the mask sigmoid)."""
-    mask_relaxed = sigmoid_mask(mask_params, mask_steepness)
-    error, grad_mb = litho_error_and_gradient_wrt_mask(
-        mask_relaxed, target, kernels, threshold, resist_steepness, dose=dose)
-    grad_params = mask_steepness * mask_relaxed * (1.0 - mask_relaxed) * grad_mb
-    return error, grad_params
+    return LithoEngine.for_kernels(kernels).error_and_gradient(
+        mask_params, target, threshold=threshold,
+        resist_steepness=resist_steepness, mask_steepness=mask_steepness,
+        dose=dose)
 
 
 def discrete_l2(wafer: np.ndarray, target: np.ndarray) -> float:

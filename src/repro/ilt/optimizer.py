@@ -28,9 +28,9 @@ from typing import List, Optional
 import numpy as np
 
 from ..litho.config import LithoConfig
+from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
-from ..litho.resist import binarize_mask, hard_resist, sigmoid_mask
-from .gradient import discrete_l2, litho_error_and_gradient
+from ..litho.resist import sigmoid_mask
 
 
 @dataclass(frozen=True)
@@ -134,14 +134,23 @@ class ILTOptimizer:
         Optimizer hyper-parameters.
     kernels:
         Optional prebuilt kernel set (otherwise built and cached).
+    engine:
+        Optional shared :class:`LithoEngine`; takes precedence over
+        ``kernels`` and lets flows/harnesses reuse one engine (and its
+        cached adjoint spectra) across every optimizer they build.
     """
 
     def __init__(self, litho_config: Optional[LithoConfig] = None,
                  config: Optional[ILTConfig] = None,
-                 kernels: Optional[KernelSet] = None):
+                 kernels: Optional[KernelSet] = None,
+                 engine: Optional[LithoEngine] = None):
         self.litho_config = litho_config or LithoConfig.paper()
         self.config = config or ILTConfig()
-        self.kernels = kernels or build_kernels(self.litho_config)
+        if engine is None:
+            engine = LithoEngine.for_kernels(
+                kernels or build_kernels(self.litho_config))
+        self.engine = engine
+        self.kernels = engine.kernels
 
     # ------------------------------------------------------------------
     def initial_params(self, target: np.ndarray,
@@ -162,27 +171,23 @@ class ILTOptimizer:
     # ------------------------------------------------------------------
     def _objective_gradient(self, params: np.ndarray, target: np.ndarray):
         cfg = self.litho_config
-        error, grad = litho_error_and_gradient(
-            params, target, self.kernels, cfg.threshold,
-            cfg.resist_steepness, cfg.mask_steepness)
+        error, grad = self.engine.error_and_gradient(
+            params, target, threshold=cfg.threshold,
+            resist_steepness=cfg.resist_steepness,
+            mask_steepness=cfg.mask_steepness)
         if self.config.pvb_weight > 0.0:
             for dose in (1.0 - cfg.dose_variation, 1.0 + cfg.dose_variation):
-                corner_error, corner_grad = litho_error_and_gradient(
-                    params, target, self.kernels, cfg.threshold,
-                    cfg.resist_steepness, cfg.mask_steepness, dose=dose)
+                corner_error, corner_grad = self.engine.error_and_gradient(
+                    params, target, threshold=cfg.threshold,
+                    resist_steepness=cfg.resist_steepness,
+                    mask_steepness=cfg.mask_steepness, dose=dose)
                 error += self.config.pvb_weight * corner_error
                 grad = grad + self.config.pvb_weight * corner_grad
         return error, grad
 
     def _discrete_score(self, params: np.ndarray, target: np.ndarray):
-        mask = binarize_mask(sigmoid_mask(params, self.litho_config.mask_steepness))
-        spectrum = np.fft.fft2(mask)
-        fields = np.fft.ifft2(spectrum[None] * self.kernels.freq_kernels,
-                              axes=(-2, -1))
-        intensity = np.einsum("k,kxy->xy", self.kernels.weights,
-                              np.abs(fields) ** 2)
-        wafer = hard_resist(intensity, self.litho_config.threshold)
-        return mask, discrete_l2(wafer, target)
+        return self.engine.binarized_score(
+            params, target, mask_steepness=self.litho_config.mask_steepness)
 
     # ------------------------------------------------------------------
     def optimize(self, target: np.ndarray,

@@ -10,8 +10,9 @@ process-variation-band evaluation.
 from .aerial import (aerial_image, aerial_image_and_fields, mask_fields,
                      mask_spectrum)
 from .config import LithoConfig, OpticsConfig
-from .kernels import (KernelSet, build_kernels, clear_cache, load_kernels,
-                      save_kernels)
+from .engine import LithoEngine, real_spectrum
+from .kernels import (KernelSet, build_kernels, clear_cache, config_hash,
+                      load_kernels, save_kernels)
 from .pupil import frequency_grid, pupil_function
 from .resist import (binarize_mask, hard_resist, sigmoid_mask,
                      sigmoid_resist)
@@ -22,8 +23,9 @@ from .window import (ProcessWindow, depth_of_focus, exposure_latitude,
 
 __all__ = [
     "OpticsConfig", "LithoConfig",
-    "KernelSet", "build_kernels", "clear_cache", "save_kernels",
-    "load_kernels",
+    "LithoEngine", "real_spectrum",
+    "KernelSet", "build_kernels", "clear_cache", "config_hash",
+    "save_kernels", "load_kernels",
     "frequency_grid", "pupil_function", "source_points", "source_map",
     "mask_spectrum", "mask_fields", "aerial_image", "aerial_image_and_fields",
     "hard_resist", "sigmoid_resist", "sigmoid_mask", "binarize_mask",

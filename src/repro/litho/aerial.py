@@ -6,6 +6,12 @@ The aerial image of a mask under the coherent decomposition is
 
 Masks are real-valued ``(grid, grid)`` arrays in [0, 1]; intensities are
 real nonnegative arrays normalized to clear-field dose 1.0.
+
+These are thin functional facades over the shared
+:class:`~repro.litho.engine.LithoEngine` (one engine is memoized per
+kernel set), kept for callers that think in terms of a mask plus a
+kernel set rather than an engine object.  They accept batched
+``(N, grid, grid)`` stacks as well as single masks.
 """
 
 from __future__ import annotations
@@ -14,31 +20,32 @@ from typing import Optional
 
 import numpy as np
 
+from .engine import LithoEngine, real_spectrum
 from .kernels import KernelSet
 
 
 def mask_spectrum(mask: np.ndarray) -> np.ndarray:
-    """FFT of a mask with shape validation."""
+    """Full FFT of a mask with shape validation.
+
+    Computed with a real-input ``rfft2`` expanded by Hermitian symmetry
+    (see :func:`repro.litho.engine.real_spectrum`).
+    """
     mask = np.asarray(mask, dtype=float)
     if mask.ndim != 2 or mask.shape[0] != mask.shape[1]:
         raise ValueError(f"mask must be square 2-D, got shape {mask.shape}")
-    return np.fft.fft2(mask)
+    return real_spectrum(mask)
 
 
 def mask_fields(mask: np.ndarray, kernels: KernelSet,
                 spectrum: Optional[np.ndarray] = None) -> np.ndarray:
     """Coherent fields ``M (x) h_k`` for every kernel.
 
-    Returns a complex array ``(N_h, grid, grid)``.  Passing a
-    precomputed ``spectrum`` avoids recomputing ``FFT(M)`` when the
-    caller needs both fields and the image (the ILT gradient does).
+    Returns a complex array ``(N_h, grid, grid)`` (batched input adds a
+    leading axis).  Passing a precomputed ``spectrum`` avoids
+    recomputing ``FFT(M)`` when the caller needs both fields and the
+    image (the ILT gradient does).
     """
-    if mask.shape[-1] != kernels.grid:
-        raise ValueError(
-            f"mask grid {mask.shape[-1]} != kernel grid {kernels.grid}")
-    if spectrum is None:
-        spectrum = mask_spectrum(mask)
-    return np.fft.ifft2(spectrum[None, :, :] * kernels.freq_kernels, axes=(-2, -1))
+    return LithoEngine.for_kernels(kernels).fields(mask, spectrum=spectrum)
 
 
 def aerial_image(mask: np.ndarray, kernels: KernelSet, dose: float = 1.0) -> np.ndarray:
@@ -47,18 +54,10 @@ def aerial_image(mask: np.ndarray, kernels: KernelSet, dose: float = 1.0) -> np.
     ``dose`` models exposure-dose error: the +/-2% corners used for the
     paper's PV-band metric are ``dose=1.02`` and ``dose=0.98``.
     """
-    fields = mask_fields(mask, kernels)
-    intensity = np.einsum("k,kxy->xy", kernels.weights, np.abs(fields) ** 2)
-    if dose != 1.0:
-        intensity = intensity * dose
-    return intensity
+    return LithoEngine.for_kernels(kernels).aerial(mask, dose=dose)
 
 
 def aerial_image_and_fields(mask: np.ndarray, kernels: KernelSet,
                             dose: float = 1.0):
     """Return ``(intensity, fields)`` sharing one FFT of the mask."""
-    fields = mask_fields(mask, kernels)
-    intensity = np.einsum("k,kxy->xy", kernels.weights, np.abs(fields) ** 2)
-    if dose != 1.0:
-        intensity = intensity * dose
-    return intensity, fields
+    return LithoEngine.for_kernels(kernels).aerial_and_fields(mask, dose=dose)

@@ -18,12 +18,17 @@ grid, so imaging is two FFTs per kernel with no resampling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from .config import LithoConfig, OpticsConfig
+from .config import LithoConfig
 from .pupil import frequency_grid, pupil_function
 from .source import source_points
 
@@ -72,25 +77,117 @@ class KernelSet:
 
     def flipped(self) -> np.ndarray:
         """Frequency kernels evaluated at ``-f`` (adjoint of the forward
-        convolution; used by the ILT gradient, Eq. 14)."""
-        flipped = self.freq_kernels[:, ::-1, ::-1]
-        return np.roll(flipped, 1, axis=(-2, -1))
+        convolution; used by the ILT gradient, Eq. 14).
+
+        Memoized on the instance: the roll + copy is ``O(K * H * W)``
+        and the adjoint kernels never change, so gradient callers pay
+        for the tensor once instead of on every step.
+        """
+        cached = self.__dict__.get("_flipped")
+        if cached is None:
+            flipped = self.freq_kernels[:, ::-1, ::-1]
+            cached = np.roll(flipped, 1, axis=(-2, -1))
+            object.__setattr__(self, "_flipped", cached)
+        return cached
 
 
 _CACHE: Dict[Tuple, KernelSet] = {}
 
+# Bump when the decomposition math changes so stale on-disk archives are
+# never reused across incompatible builds.
+_DISK_FORMAT_VERSION = 1
 
-def build_kernels(config: LithoConfig, cache: bool = True) -> KernelSet:
+
+def config_hash(config: LithoConfig) -> str:
+    """Stable content hash of a :class:`LithoConfig`.
+
+    Hashes the canonical JSON of every field (optics included), so two
+    equal configs always map to the same on-disk kernel archive and any
+    parameter change invalidates it.
+    """
+    payload = json.dumps(
+        {"version": _DISK_FORMAT_VERSION, "config": asdict(config)},
+        sort_keys=True, default=repr)
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def _disk_cache_dir(disk_cache: Union[bool, str, None]) -> Optional[str]:
+    """Resolve the on-disk cache directory (None disables caching).
+
+    ``disk_cache`` may be an explicit directory, ``False`` to disable,
+    or ``None`` to consult ``REPRO_KERNEL_CACHE`` (a path, or one of
+    ``0/off/none`` to disable) and fall back to
+    ``~/.cache/repro/kernels``.
+    """
+    if disk_cache is False:
+        return None
+    if isinstance(disk_cache, str):
+        return disk_cache
+    env = os.environ.get("REPRO_KERNEL_CACHE")
+    if env is not None:
+        if env.strip().lower() in ("", "0", "off", "none", "false"):
+            return None
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "kernels")
+
+
+def _disk_load(path: str, config: LithoConfig) -> Optional[KernelSet]:
+    try:
+        with np.load(path) as archive:
+            freq_kernels = np.asarray(archive["freq_kernels"])
+            weights = np.asarray(archive["weights"])
+        if (freq_kernels.ndim != 3 or freq_kernels.shape[-1] != config.grid
+                or len(weights) != len(freq_kernels)):
+            return None
+        return KernelSet(freq_kernels=freq_kernels, weights=weights,
+                         config=config)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+        return None  # corrupt or partial archive: rebuild
+
+
+def _disk_store(path: str, kernel_set: KernelSet) -> None:
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(suffix=".npz",
+                                   dir=os.path.dirname(path))
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, freq_kernels=kernel_set.freq_kernels,
+                         weights=kernel_set.weights)
+            os.replace(tmp, path)  # atomic: concurrent runs never see partials
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        pass  # read-only filesystem etc.: caching is best-effort
+
+
+def build_kernels(config: LithoConfig, cache: bool = True,
+                  disk_cache: Union[bool, str, None] = None) -> KernelSet:
     """Build the coherent kernel set for a lithography configuration.
 
-    The decomposition is deterministic for a given config and cached by
-    default — kernel construction costs an SVD whose size scales with the
-    passband area, so reusing it across simulator instances matters for
-    the benchmark harness.
+    The decomposition is deterministic for a given config and cached at
+    two levels by default — in-process (kernel construction costs an SVD
+    whose size scales with the passband area, so reusing it across
+    simulator instances matters for the benchmark harness) and on disk
+    under a stable :func:`config_hash` key (cold starts of benches,
+    examples and CLI runs rebuild identical kernels repeatedly; the
+    eigendecomposition is the slowest cold-start step).  Set
+    ``disk_cache=False`` or ``REPRO_KERNEL_CACHE=off`` to disable the
+    disk layer, or pass/point either at a directory to relocate it.
     """
     key = (config.optics, config.grid, config.pixel_nm)
     if cache and key in _CACHE:
         return _CACHE[key]
+
+    cache_dir = _disk_cache_dir(disk_cache) if cache else None
+    disk_path = (os.path.join(cache_dir, config_hash(config) + ".npz")
+                 if cache_dir else None)
+    if disk_path and os.path.exists(disk_path):
+        loaded = _disk_load(disk_path, config)
+        if loaded is not None:
+            _CACHE[key] = loaded
+            return loaded
 
     optics = config.optics
     fx, fy = frequency_grid(config.grid, config.pixel_nm)
@@ -128,6 +225,8 @@ def build_kernels(config: LithoConfig, cache: bool = True) -> KernelSet:
                            config=config)
     if cache:
         _CACHE[key] = kernel_set
+    if disk_path:
+        _disk_store(disk_path, kernel_set)
     return kernel_set
 
 

@@ -20,10 +20,10 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .aerial import aerial_image, aerial_image_and_fields
 from .config import LithoConfig
+from .engine import LithoEngine
 from .kernels import KernelSet, build_kernels
-from .resist import hard_resist, sigmoid_resist
+from .resist import hard_resist
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,11 @@ class ProcessCorners:
 class LithoSimulator:
     """Forward lithography simulation: mask -> aerial image -> wafer.
 
+    A thin facade over the shared :class:`LithoEngine` — simulators
+    built on the same kernel set share one engine (and thus its cached
+    adjoint kernel tensors), and every method accepts either a single
+    ``(grid, grid)`` mask or a batched ``(N, grid, grid)`` stack.
+
     Parameters
     ----------
     config:
@@ -50,14 +55,31 @@ class LithoSimulator:
     kernels:
         Optionally inject a prebuilt :class:`KernelSet` (tests use this
         to share kernels across simulators).
+    engine:
+        Optionally inject a prebuilt :class:`LithoEngine` directly; its
+        config must match ``config`` when both are given.
     """
 
     def __init__(self, config: Optional[LithoConfig] = None,
-                 kernels: Optional[KernelSet] = None):
-        self.config = config or LithoConfig.paper()
-        if kernels is not None and kernels.config != self.config:
-            raise ValueError("injected kernels were built for a different config")
-        self.kernels = kernels or build_kernels(self.config)
+                 kernels: Optional[KernelSet] = None,
+                 engine: Optional[LithoEngine] = None):
+        if engine is not None:
+            if config is not None and engine.config != config:
+                raise ValueError(
+                    "injected engine was built for a different config")
+            if kernels is not None and kernels is not engine.kernels:
+                raise ValueError(
+                    "pass either kernels or an engine, not conflicting both")
+            self.engine = engine
+        else:
+            config = config or LithoConfig.paper()
+            if kernels is not None and kernels.config != config:
+                raise ValueError(
+                    "injected kernels were built for a different config")
+            self.engine = LithoEngine.for_kernels(
+                kernels or build_kernels(config))
+        self.config = self.engine.config
+        self.kernels = self.engine.kernels
 
     # ------------------------------------------------------------------
     @property
@@ -71,22 +93,20 @@ class LithoSimulator:
     # ------------------------------------------------------------------
     def aerial(self, mask: np.ndarray, dose: float = 1.0) -> np.ndarray:
         """Aerial image (Eq. 2) scaled by the exposure ``dose``."""
-        return aerial_image(mask, self.kernels, dose=dose)
+        return self.engine.aerial(mask, dose=dose)
 
     def aerial_and_fields(self, mask: np.ndarray, dose: float = 1.0
                           ) -> Tuple[np.ndarray, np.ndarray]:
         """Aerial image plus per-kernel coherent fields (for gradients)."""
-        return aerial_image_and_fields(mask, self.kernels, dose=dose)
+        return self.engine.aerial_and_fields(mask, dose=dose)
 
     def wafer_image(self, mask: np.ndarray, dose: float = 1.0) -> np.ndarray:
         """Binary wafer image under the hard-threshold resist (Eq. 3)."""
-        return hard_resist(self.aerial(mask, dose=dose), self.config.threshold)
+        return self.engine.wafer(mask, dose=dose)
 
     def relaxed_wafer(self, mask: np.ndarray, dose: float = 1.0) -> np.ndarray:
         """Differentiable wafer image under the sigmoid resist (Eq. 12)."""
-        return sigmoid_resist(self.aerial(mask, dose=dose),
-                              self.config.threshold,
-                              self.config.resist_steepness)
+        return self.engine.relaxed_wafer(mask, dose=dose)
 
     def process_corners(self, mask: np.ndarray) -> ProcessCorners:
         """Wafer images at nominal and +/-dose corners (PV-band inputs).
@@ -104,7 +124,8 @@ class LithoSimulator:
 
     def litho_error(self, mask: np.ndarray, target: np.ndarray,
                     relaxed: bool = False) -> float:
-        """Squared L2 lithography error ``||Z_t - Z||^2`` (Eq. 11)."""
-        wafer = self.relaxed_wafer(mask) if relaxed else self.wafer_image(mask)
-        diff = wafer - np.asarray(target, dtype=float)
-        return float(np.sum(diff * diff))
+        """Squared L2 lithography error ``||Z_t - Z||^2`` (Eq. 11).
+
+        Returns a float for a single mask, an ``(N,)`` array per batch.
+        """
+        return self.engine.litho_error(mask, target, relaxed=relaxed)

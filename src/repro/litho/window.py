@@ -21,7 +21,7 @@ users the standard litho figure-of-merit vocabulary.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ collections of evaluations into the row/column structure of Table 2
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

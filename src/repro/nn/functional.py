@@ -18,7 +18,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from .tensor import Tensor, _unbroadcast
+from .tensor import Tensor
 
 IntPair = Union[int, Tuple[int, int]]
 

@@ -9,7 +9,7 @@ standard remedy and is exposed to the trainers via
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable
 
 import numpy as np
 

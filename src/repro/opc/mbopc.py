@@ -22,7 +22,6 @@ import numpy as np
 
 from ..geometry.layout import Layout
 from ..geometry.raster import rasterize
-from ..geometry.shapes import Rect
 from ..ilt.gradient import discrete_l2
 from ..litho.config import LithoConfig
 from ..litho.kernels import KernelSet, build_kernels

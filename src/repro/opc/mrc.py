@@ -20,7 +20,6 @@ error materially (sub-resolution islands barely expose anyway).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 from scipy import ndimage

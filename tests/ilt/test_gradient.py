@@ -1,7 +1,6 @@
 """Unit tests for the ILT gradient (Eq. 14)."""
 
 import numpy as np
-import pytest
 
 from repro.ilt import (discrete_l2, litho_error_and_gradient,
                        litho_error_and_gradient_wrt_mask)

@@ -5,7 +5,6 @@ import pytest
 
 from repro.ilt import ILTConfig
 from repro.layoutgen import SyntheticDataset
-from repro.litho import LithoConfig
 
 
 @pytest.fixture(scope="module")

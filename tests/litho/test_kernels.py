@@ -98,6 +98,73 @@ class TestBuildKernels:
         assert abs(peak[0] - center[0]) <= 1 and abs(peak[1] - center[1]) <= 1
 
 
+class TestFlippedMemoization:
+    def test_flipped_is_cached_on_instance(self, litho32):
+        kernels = build_kernels(litho32, cache=False)
+        first = kernels.flipped()
+        assert kernels.flipped() is first  # no roll+copy per call
+
+    def test_cached_flipped_values_correct(self, litho32):
+        kernels = build_kernels(litho32, cache=False)
+        flipped = kernels.flipped()
+        k = kernels.freq_kernels
+        n = k.shape[-1]
+        np.testing.assert_allclose(flipped[:, 3, 9], k[:, (-3) % n, (-9) % n])
+
+
+class TestDiskCache:
+    def test_build_populates_and_reuses_disk_cache(self, tmp_path,
+                                                   monkeypatch):
+        from repro.litho.kernels import config_hash
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+        config = LithoConfig(grid=16, pixel_nm=8.0,
+                             optics=OpticsConfig(source_points=5))
+        built = build_kernels(config)
+        archive = tmp_path / (config_hash(config) + ".npz")
+        assert archive.exists()
+
+        clear_cache()  # force the in-process cache to miss
+        reloaded = build_kernels(config)
+        assert reloaded is not built
+        np.testing.assert_array_equal(reloaded.freq_kernels,
+                                      built.freq_kernels)
+        np.testing.assert_array_equal(reloaded.weights, built.weights)
+
+    def test_hash_is_sensitive_to_config(self):
+        from repro.litho.kernels import config_hash
+        a = config_hash(LithoConfig.small(32))
+        b = config_hash(LithoConfig.small(64))
+        c = config_hash(LithoConfig.small(32))
+        assert a == c and a != b
+
+    def test_env_off_disables_disk_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", "off")
+        config = LithoConfig(grid=16, pixel_nm=8.0,
+                             optics=OpticsConfig(source_points=5))
+        clear_cache()
+        build_kernels(config)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_archive_triggers_rebuild(self, tmp_path, monkeypatch):
+        from repro.litho.kernels import config_hash
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+        config = LithoConfig(grid=16, pixel_nm=8.0,
+                             optics=OpticsConfig(source_points=5))
+        archive = tmp_path / (config_hash(config) + ".npz")
+        archive.write_bytes(b"not an npz archive")
+        clear_cache()
+        kernels = build_kernels(config)
+        assert kernels.grid == 16  # rebuilt from scratch, no crash
+
+    def test_explicit_disk_cache_false(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+        config = LithoConfig(grid=16, pixel_nm=8.0,
+                             optics=OpticsConfig(source_points=5))
+        clear_cache()
+        build_kernels(config, disk_cache=False)
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestKernelDiskIO:
     def test_save_load_round_trip(self, litho32, kernels32, tmp_path):
         from repro.litho import load_kernels, save_kernels

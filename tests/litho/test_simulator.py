@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.litho import LithoConfig, LithoSimulator, build_kernels
+from repro.litho import LithoConfig, LithoSimulator
 
 
 def _wire(grid, width=10):

@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.litho import (LithoConfig, LithoSimulator, build_kernels,
-                         depth_of_focus, exposure_latitude,
+from repro.litho import (LithoSimulator, depth_of_focus, exposure_latitude,
                          process_window_matrix)
 
 

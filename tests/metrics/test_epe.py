@@ -1,7 +1,6 @@
 """Unit tests for edge placement error measurement (Figure 2)."""
 
 import numpy as np
-import pytest
 
 from repro.geometry import Layout, Rect, rasterize
 from repro.metrics import EPEReport, EPESample, control_points, measure_epe

@@ -1,6 +1,5 @@
 """Unit tests for mask evaluation reports and the Table 2 formatter."""
 
-import numpy as np
 import pytest
 
 from repro.geometry import Layout, Rect, rasterize

@@ -1,6 +1,5 @@
 """Unit tests for rule-based SRAF insertion."""
 
-import numpy as np
 import pytest
 
 from repro.geometry import Layout, Rect, binarize, rasterize

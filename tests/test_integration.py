@@ -5,7 +5,6 @@ kind of wiring that unit tests cannot catch.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import ExperimentConfig, Pipeline, iccad13_suite, run_table2, train_generators
 from repro.core import (GanOpcConfig, GanOpcFlow, ILTGuidedPretrainer,
