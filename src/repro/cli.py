@@ -7,6 +7,8 @@ without writing Python:
 * ``simulate``   — lithography-simulate a mask and report metrics;
 * ``ilt``        — optimize a clip's mask with the ILT engine;
 * ``sraf``       — insert assist features into a clip;
+* ``train``      — run the training loops with the robustness
+  substrate (checkpoint/resume, divergence guards, JSONL telemetry);
 * ``flow``       — run the GAN-OPC flow with a trained checkpoint;
 * ``table2``     — run the full Table 2 experiment at a chosen scale.
 
@@ -125,6 +127,70 @@ def cmd_sraf(args) -> int:
     return 0
 
 
+def cmd_train(args) -> int:
+    import os
+    from dataclasses import replace
+
+    from . import nn
+    from .core import (GanOpcConfig, GanOpcTrainer, ILTGuidedPretrainer,
+                       MaskGenerator, PairDiscriminator)
+    from .layoutgen import SyntheticDataset
+    from .runtime import RunConfig
+
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    litho = _litho(args)
+    engine = _engine(litho)
+    config = replace(GanOpcConfig.small(litho.grid),
+                     batch_size=args.batch_size, seed=args.seed)
+    dataset = SyntheticDataset(litho, size=args.dataset_size,
+                               seed=args.seed, kernels=engine.kernels)
+    generator = MaskGenerator(config.generator_channels,
+                              rng=np.random.default_rng(args.seed))
+    if args.init:
+        nn.load_state(generator, args.init)
+
+    def runtime(phase: str) -> RunConfig:
+        checkpoint_dir = (os.path.join(args.checkpoint_dir, phase)
+                          if args.checkpoint_dir else None)
+        return RunConfig(checkpoint_dir=checkpoint_dir,
+                         checkpoint_every=args.checkpoint_every,
+                         keep_last=args.keep_last,
+                         resume=args.resume,
+                         telemetry_dir=args.telemetry_dir,
+                         policy=args.policy,
+                         max_grad_norm=args.max_grad_norm,
+                         lr_backoff=args.lr_backoff)
+
+    if args.phase in ("pretrain", "both"):
+        pretrainer = ILTGuidedPretrainer(generator, litho, config,
+                                         engine=engine)
+        history = pretrainer.train(dataset, args.iterations,
+                                   verbose=args.verbose,
+                                   runtime=runtime("pretrain"))
+        final = history.litho_error[-1] if history.litho_error else float("nan")
+        print(f"pretrain: {history.iterations} iterations recorded, "
+              f"final litho error {final:.1f} "
+              f"({history.runtime_seconds:.2f}s)")
+    if args.phase in ("gan", "both"):
+        discriminator = PairDiscriminator(
+            litho.grid, config.discriminator_channels,
+            rng=np.random.default_rng(args.seed + 1))
+        trainer = GanOpcTrainer(generator, discriminator, config)
+        history = trainer.train(dataset, args.iterations,
+                                verbose=args.verbose,
+                                runtime=runtime("gan"))
+        final = (history.l2_to_reference[-1]
+                 if history.l2_to_reference else float("nan"))
+        print(f"gan: {history.iterations} iterations recorded, "
+              f"final l2 {final:.1f} ({history.runtime_seconds:.2f}s)")
+    if args.out:
+        nn.save_state(generator, args.out)
+        print(f"generator weights written to {args.out}")
+    return 0
+
+
 def cmd_flow(args) -> int:
     from . import nn
     from .bench import write_pgm
@@ -132,6 +198,7 @@ def cmd_flow(args) -> int:
     from .ilt import ILTConfig
     from .litho import LithoSimulator
     from .metrics import evaluate_mask
+    from .runtime import RunLogger
 
     litho = _litho(args)
     engine = _engine(litho)
@@ -140,9 +207,14 @@ def cmd_flow(args) -> int:
     generator = MaskGenerator(config.generator_channels,
                               rng=np.random.default_rng(0))
     nn.load_state(generator, args.checkpoint)
+    logger = None
+    if args.telemetry_dir:
+        import os
+        logger = RunLogger(os.path.join(args.telemetry_dir, "flow.jsonl"),
+                           "flow", append=True)
     flow = GanOpcFlow(generator, litho,
                       ILTConfig(max_iterations=args.iterations, patience=4),
-                      engine=engine)
+                      engine=engine, logger=logger)
     result = flow.optimize(target)
     evaluation = evaluate_mask(LithoSimulator(litho, engine=engine),
                                result.mask, target,
@@ -208,11 +280,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="assisted.glp")
     p.set_defaults(func=cmd_sraf)
 
+    p = sub.add_parser(
+        "train", help="train the GAN-OPC networks with the robustness "
+                      "substrate (checkpoint/resume, guards, telemetry)")
+    p.add_argument("--phase", choices=("pretrain", "gan", "both"),
+                   default="pretrain")
+    p.add_argument("--grid", type=int, default=64)
+    p.add_argument("--iterations", type=int, default=50)
+    p.add_argument("--dataset-size", type=int, default=16)
+    p.add_argument("--batch-size", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--init", help="generator .npz checkpoint to start from")
+    p.add_argument("--out", help="write final generator weights here (.npz)")
+    p.add_argument("--checkpoint-dir",
+                   help="training checkpoint directory (per-phase subdirs)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="checkpoint every N iterations (0: only at the end)")
+    p.add_argument("--keep-last", type=int, default=3,
+                   help="checkpoints retained on disk")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the latest checkpoint, bit-exactly")
+    p.add_argument("--telemetry-dir",
+                   help="write JSONL run telemetry under this directory")
+    p.add_argument("--policy", choices=("raise", "rollback", "skip"),
+                   default="raise",
+                   help="divergence policy on non-finite losses/gradients")
+    p.add_argument("--max-grad-norm", type=float, default=None,
+                   help="clip the global gradient norm of each update")
+    p.add_argument("--lr-backoff", type=float, default=0.5,
+                   help="learning-rate multiplier applied on rollback")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_train)
+
     p = sub.add_parser("flow", help="GAN-OPC flow with a trained generator")
     p.add_argument("clip", help="target layout (.glp)")
     p.add_argument("checkpoint", help="generator .npz checkpoint")
     p.add_argument("--grid", type=int, default=128)
     p.add_argument("--iterations", type=int, default=100)
+    p.add_argument("--telemetry-dir",
+                   help="write JSONL flow telemetry under this directory")
     p.add_argument("--out", default="mask.pgm")
     p.set_defaults(func=cmd_flow)
 

@@ -20,6 +20,7 @@ from ..ilt.optimizer import ILTConfig, ILTOptimizer, ILTResult
 from ..litho.config import LithoConfig
 from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
+from ..runtime import RunLogger
 from .generator import MaskGenerator
 
 
@@ -66,19 +67,26 @@ class GanOpcFlow:
     refine_config:
         ILT settings for the refinement stage; defaults to a short run
         with early stopping — the warm start makes long runs pointless.
+    logger:
+        Optional :class:`~repro.runtime.RunLogger`; each
+        :meth:`optimize` call then emits one schema-validated ``flow``
+        telemetry record with the stage wall-clocks and the
+        litho-engine call counts it consumed.
     """
 
     def __init__(self, generator: MaskGenerator,
                  litho_config: Optional[LithoConfig] = None,
                  refine_config: Optional[ILTConfig] = None,
                  kernels: Optional[KernelSet] = None,
-                 engine: Optional[LithoEngine] = None):
+                 engine: Optional[LithoEngine] = None,
+                 logger: Optional[RunLogger] = None):
         self.generator = generator
         self.litho_config = litho_config or LithoConfig.paper()
         if engine is None:
             engine = LithoEngine.for_kernels(
                 kernels or build_kernels(self.litho_config))
         self.engine = engine
+        self.logger = logger
         self.refiner = ILTOptimizer(
             self.litho_config,
             refine_config or ILTConfig(max_iterations=50, patience=4),
@@ -88,6 +96,8 @@ class GanOpcFlow:
                  refine_iterations: Optional[int] = None) -> FlowResult:
         """Run the full flow on a binary target image."""
         target = np.asarray(target, dtype=float)
+        litho_before = (self.engine.stats.snapshot()
+                        if self.logger is not None else None)
 
         start = time.perf_counter()
         generated = self.generator.generate(target)
@@ -96,6 +106,15 @@ class GanOpcFlow:
         ilt_result = self.refiner.optimize(
             target, initial_mask=generated,
             max_iterations=refine_iterations)
+
+        if self.logger is not None:
+            self.logger.event(
+                "flow",
+                generation_seconds=generation_seconds,
+                refinement_seconds=ilt_result.runtime_seconds,
+                refine_iterations=int(ilt_result.iterations),
+                l2=float(ilt_result.l2),
+                litho=self.engine.stats.delta(litho_before))
 
         return FlowResult(
             mask=ilt_result.mask,

@@ -27,6 +27,7 @@ import numpy as np
 
 from .. import nn
 from ..layoutgen.dataset import SyntheticDataset
+from ..runtime import RunConfig, TrainingHarness
 from .config import GanOpcConfig
 from .discriminator import PairDiscriminator
 from .generator import MaskGenerator
@@ -74,12 +75,16 @@ class GanOpcTrainer:
 
     # ------------------------------------------------------------------
     def generator_step(self, targets: np.ndarray,
-                       reference_masks: np.ndarray) -> Tuple[float, float, np.ndarray]:
+                       reference_masks: np.ndarray,
+                       harness: Optional[TrainingHarness] = None
+                       ) -> Tuple[float, float, np.ndarray]:
         """Update G on ``-log D(Z_t, G(Z_t)) + alpha ||M* - G||^2``.
 
         Returns ``(loss, l2_sum_per_image, fake_masks)`` — the fakes are
         reused (detached) by the discriminator step, saving a forward
-        pass like line 5 of Algorithm 1.
+        pass like line 5 of Algorithm 1.  With a harness the update is
+        guarded: a non-finite loss or gradient norm triggers the
+        configured divergence policy before any weight is touched.
         """
         target_t = nn.Tensor(targets)
         reference_t = nn.Tensor(reference_masks)
@@ -91,16 +96,24 @@ class GanOpcTrainer:
         adversarial = nn.bce_loss(d_fake, nn.ones(d_fake.shape))
         regression = nn.mse_loss(fake, reference_t, reduction="mean")
         loss = adversarial + self.config.alpha * regression
-        loss.backward()
-        self.optimizer_g.step()
+        loss_value = float(loss.data)
+        if harness is None:
+            loss.backward()
+            self.optimizer_g.step()
+        else:
+            harness.apply_update({"generator_loss": loss_value},
+                                 loss.backward, self.optimizer_g,
+                                 tag="generator")
 
         diff = fake.data - reference_masks
         l2_sum = float(np.sum(diff * diff) / len(targets))
-        return float(loss.data), l2_sum, fake.data
+        return loss_value, l2_sum, fake.data
 
     def discriminator_step(self, targets: np.ndarray,
                            reference_masks: np.ndarray,
-                           fake_masks: np.ndarray) -> float:
+                           fake_masks: np.ndarray,
+                           harness: Optional[TrainingHarness] = None
+                           ) -> float:
         """Update D on Eq. 8 (paper objective) or standard BCE."""
         target_t = nn.Tensor(targets)
 
@@ -118,38 +131,88 @@ class GanOpcTrainer:
             real_label = 1.0 - self.config.label_smoothing
             loss = (nn.bce_loss(d_fake, nn.zeros(d_fake.shape))
                     + nn.bce_loss(d_real, nn.full(d_real.shape, real_label)))
-        loss.backward()
-        self.optimizer_d.step()
-        return float(loss.data)
+        loss_value = float(loss.data)
+        if harness is None:
+            loss.backward()
+            self.optimizer_d.step()
+        else:
+            harness.apply_update({"discriminator_loss": loss_value},
+                                 loss.backward, self.optimizer_d,
+                                 tag="discriminator")
+        return loss_value
 
     def train_iteration(self, targets: np.ndarray,
-                        reference_masks: np.ndarray) -> Tuple[float, float, float]:
-        """One Algorithm 1 iteration; returns ``(l_g, l_d, l2)``."""
-        loss_g, l2_sum, fake = self.generator_step(targets, reference_masks)
-        loss_d = self.discriminator_step(targets, reference_masks, fake)
+                        reference_masks: np.ndarray,
+                        harness: Optional[TrainingHarness] = None
+                        ) -> Tuple[float, float, float]:
+        """One Algorithm 1 iteration; returns ``(l_g, l_d, l2)``.
+
+        When the generator update diverged (harness action is not
+        ``"ok"``), the discriminator step is skipped for the iteration:
+        after a rollback the fakes no longer correspond to the restored
+        weights, and after a NaN they are not trustworthy inputs.
+        """
+        loss_g, l2_sum, fake = self.generator_step(targets, reference_masks,
+                                                   harness)
+        if harness is not None and harness.last_action != "ok":
+            return loss_g, float("nan"), l2_sum
+        loss_d = self.discriminator_step(targets, reference_masks, fake,
+                                         harness)
         return loss_g, loss_d, l2_sum
 
     # ------------------------------------------------------------------
     def train(self, dataset: SyntheticDataset, iterations: int,
               rng: Optional[np.random.Generator] = None,
-              verbose: bool = False) -> TrainingHistory:
+              verbose: bool = False,
+              runtime: Optional[RunConfig] = None) -> TrainingHistory:
         """Run adversarial training, sampling mini-batches of
-        (target, reference-mask) pairs from the dataset."""
+        (target, reference-mask) pairs from the dataset.
+
+        ``runtime`` enables the robustness substrate: checkpoint/resume
+        (bit-exact, including the sampling RNG and both Adam states),
+        divergence guards and JSONL telemetry.  Without it the loop
+        behaves exactly as before.
+        """
         rng = rng or np.random.default_rng(self.config.seed)
         history = TrainingHistory()
+        series = {"generator_loss": history.generator_loss,
+                  "discriminator_loss": history.discriminator_loss,
+                  "l2_to_reference": history.l2_to_reference}
+        harness: Optional[TrainingHarness] = None
+        start_iteration = 0
+        if runtime is not None:
+            harness = TrainingHarness(
+                "gan",
+                modules={"generator": self.generator,
+                         "discriminator": self.discriminator},
+                optimizers={"generator": self.optimizer_g,
+                            "discriminator": self.optimizer_d},
+                config=runtime)
+            start_iteration = harness.begin(rng, series, iterations)
         start = time.perf_counter()
         self.generator.train()
         self.discriminator.train()
-        for iteration in range(iterations):
+        for iteration in range(start_iteration, iterations):
+            if harness is not None:
+                harness.begin_iteration(iteration)
             indices = rng.choice(len(dataset), size=self.config.batch_size,
                                  replace=len(dataset) < self.config.batch_size)
             targets, masks = dataset.pairs_batch(indices)
-            loss_g, loss_d, l2_sum = self.train_iteration(targets, masks)
+            loss_g, loss_d, l2_sum = self.train_iteration(targets, masks,
+                                                          harness)
             history.generator_loss.append(loss_g)
             history.discriminator_loss.append(loss_d)
             history.l2_to_reference.append(l2_sum)
+            if harness is not None:
+                harness.end_iteration(
+                    iteration, rng, series,
+                    {"generator_loss": loss_g,
+                     "discriminator_loss": loss_d,
+                     "l2_to_reference": l2_sum})
             if verbose and (iteration + 1) % 10 == 0:
                 print(f"[gan {iteration + 1}/{iterations}] "
                       f"l_g {loss_g:.3f} l_d {loss_d:.3f} l2 {l2_sum:.1f}")
         history.runtime_seconds = time.perf_counter() - start
+        if harness is not None:
+            harness.finish(max(iterations, start_iteration), rng, series)
         return history

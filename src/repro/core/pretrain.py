@@ -34,6 +34,7 @@ from ..litho.config import LithoConfig
 from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
 from ..layoutgen.dataset import SyntheticDataset
+from ..runtime import RunConfig, TrainingHarness
 from .config import GanOpcConfig
 from .generator import MaskGenerator
 
@@ -96,42 +97,79 @@ class ILTGuidedPretrainer:
             resist_steepness=cfg.resist_steepness)
         return errors, gradients[:, None]
 
-    def step(self, targets: np.ndarray) -> float:
+    def step(self, targets: np.ndarray,
+             harness: Optional[TrainingHarness] = None) -> float:
         """One Algorithm 2 iteration on a target batch; returns the
-        mini-batch mean lithography error."""
+        mini-batch mean lithography error.
+
+        With a harness, the weight update is guarded: a non-finite
+        litho error or gradient norm triggers the configured divergence
+        policy instead of poisoning the generator.
+        """
         self.optimizer.zero_grad()
         batch = nn.Tensor(targets)
         masks = self.generator(batch)
         errors, gradients = self.batch_litho_gradient(masks.data, targets)
+        error = float(errors.mean())
+
         # Line 8: accumulate dE/dM * dM/dW_g; mini-batch averaging
         # happens here (Eq. 15's lambda/m).
-        masks.backward(gradients / len(targets))
-        self.optimizer.step()
-        return float(errors.mean())
+        def backward():
+            masks.backward(gradients / len(targets))
+
+        if harness is None:
+            backward()
+            self.optimizer.step()
+        else:
+            harness.apply_update({"litho_error": error}, backward,
+                                 self.optimizer, tag="generator")
+        return error
 
     def train(self, dataset: SyntheticDataset, iterations: int,
               rng: Optional[np.random.Generator] = None,
-              verbose: bool = False) -> PretrainHistory:
+              verbose: bool = False,
+              runtime: Optional[RunConfig] = None) -> PretrainHistory:
         """Run pre-training for a number of iterations.
 
         Targets are sampled with replacement from the dataset (line 2 of
         Algorithm 2); reference masks are *not* needed — that is the
         point of lithography guidance.
+
+        ``runtime`` enables the robustness substrate: checkpoint/resume
+        (bit-exact, including the sampling RNG), divergence guards and
+        JSONL telemetry.  Without it the loop behaves exactly as
+        before.
         """
         rng = rng or np.random.default_rng(self.config.seed)
         history = PretrainHistory()
+        series = {"litho_error": history.litho_error}
+        harness: Optional[TrainingHarness] = None
+        start_iteration = 0
+        if runtime is not None:
+            harness = TrainingHarness(
+                "pretrain", modules={"generator": self.generator},
+                optimizers={"generator": self.optimizer},
+                config=runtime, engine=self.engine)
+            start_iteration = harness.begin(rng, series, iterations)
         start = time.perf_counter()
         self.generator.train()
-        for iteration in range(iterations):
+        for iteration in range(start_iteration, iterations):
+            if harness is not None:
+                harness.begin_iteration(iteration)
             indices = rng.choice(len(dataset), size=self.config.batch_size,
                                  replace=len(dataset) < self.config.batch_size)
             targets = dataset.targets_batch(indices)
-            error = self.step(targets)
+            error = self.step(targets, harness=harness)
             history.litho_error.append(error)
+            if harness is not None:
+                harness.end_iteration(iteration, rng, series,
+                                      {"litho_error": error})
             if verbose and (iteration + 1) % 10 == 0:
                 print(f"[pretrain {iteration + 1}/{iterations}] "
                       f"litho error {error:.1f}")
         history.runtime_seconds = time.perf_counter() - start
+        if harness is not None:
+            harness.finish(max(iterations, start_iteration), rng, series)
         return history
 
 

@@ -10,7 +10,7 @@ process-variation-band evaluation.
 from .aerial import (aerial_image, aerial_image_and_fields, mask_fields,
                      mask_spectrum)
 from .config import LithoConfig, OpticsConfig
-from .engine import LithoEngine, real_spectrum
+from .engine import EngineStats, LithoEngine, real_spectrum
 from .kernels import (KernelSet, build_kernels, clear_cache, config_hash,
                       load_kernels, save_kernels)
 from .pupil import frequency_grid, pupil_function
@@ -23,7 +23,7 @@ from .window import (ProcessWindow, depth_of_focus, exposure_latitude,
 
 __all__ = [
     "OpticsConfig", "LithoConfig",
-    "LithoEngine", "real_spectrum",
+    "EngineStats", "LithoEngine", "real_spectrum",
     "KernelSet", "build_kernels", "clear_cache", "config_hash",
     "save_kernels", "load_kernels",
     "frequency_grid", "pupil_function", "source_points", "source_map",

@@ -39,7 +39,9 @@ facades in :mod:`repro.litho.aerial`, :mod:`repro.litho.simulator` and
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -48,6 +50,41 @@ from .kernels import KernelSet, build_kernels
 from .resist import binarize_mask, hard_resist, sigmoid_mask, _stable_sigmoid
 
 ArrayOrScalar = Union[float, np.ndarray]
+
+
+@dataclass
+class EngineStats:
+    """Cumulative call counters and wall-clock for one engine instance.
+
+    ``forward_*`` counts every execution of the fused aerial-intensity
+    pipeline, *including* the forward pass nested inside each adjoint
+    evaluation; ``gradient_*`` counts public adjoint calls
+    (:meth:`LithoEngine.error_and_gradient_wrt_mask` and everything
+    built on it), and ``gradient_seconds`` includes the nested forward
+    time.  ``*_masks`` accumulate batch sizes, so throughput is
+    ``masks / seconds``.  The run telemetry records per-iteration
+    deltas of :meth:`snapshot`.
+    """
+
+    forward_calls: int = 0
+    forward_masks: int = 0
+    forward_seconds: float = 0.0
+    gradient_calls: int = 0
+    gradient_masks: int = 0
+    gradient_seconds: float = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict copy (for telemetry deltas and assertions)."""
+        return asdict(self)
+
+    def delta(self, previous: Dict[str, float]) -> Dict[str, float]:
+        """Per-field difference against an earlier :meth:`snapshot`."""
+        now = self.snapshot()
+        return {key: now[key] - previous.get(key, 0) for key in now}
+
+    def reset(self) -> None:
+        for key, value in asdict(self).items():
+            setattr(self, key, type(value)())
 
 
 def real_spectrum(masks: np.ndarray) -> np.ndarray:
@@ -140,6 +177,8 @@ class LithoEngine:
         bytes_per_sample = len(self._weights) * grid * grid * 16
         self._gradient_chunk = max(1, (8 << 20) // bytes_per_sample)
 
+        self.stats = EngineStats()
+
     # ------------------------------------------------------------------
     @classmethod
     def for_kernels(cls, kernels: KernelSet) -> "LithoEngine":
@@ -206,6 +245,7 @@ class LithoEngine:
         Looping keeps the per-kernel working set cache-resident; a
         single scratch buffer is reused when fields are discarded.
         """
+        started = time.perf_counter()
         compact = self._compact_spectrum(batch, spectrum)
         n, grid = batch.shape[0], self.grid
         num_kernels = len(self._weights)
@@ -222,6 +262,9 @@ class LithoEngine:
                                              field.imag ** 2)
         if dose != 1.0:
             intensity *= dose
+        self.stats.forward_calls += 1
+        self.stats.forward_masks += n
+        self.stats.forward_seconds += time.perf_counter() - started
         return intensity, fields
 
     def _fields(self, batch: np.ndarray,
@@ -313,6 +356,7 @@ class LithoEngine:
         cannot touch; one small inverse DFT expands the accumulated
         spectrum back to the mask grid.
         """
+        started = time.perf_counter()
         threshold = self.threshold if threshold is None else threshold
         steepness = (self.config.resist_steepness if resist_steepness is None
                      else resist_steepness)
@@ -320,6 +364,8 @@ class LithoEngine:
         targets = self._as_targets(target)
         if targets.ndim == 2:
             targets = np.broadcast_to(targets, batch.shape)
+        self.stats.gradient_calls += 1
+        self.stats.gradient_masks += batch.shape[0]
 
         # Samples are independent, so large batches are processed in
         # chunks sized to keep the per-chunk field tensor cache-resident
@@ -333,9 +379,11 @@ class LithoEngine:
                     self._gradient_chunk_wrt_mask(
                         batch[i:i + chunk], targets[i:i + chunk],
                         threshold, steepness, dose)
+            self.stats.gradient_seconds += time.perf_counter() - started
             return errors, grads
         errors, grads = self._gradient_chunk_wrt_mask(
             batch, targets, threshold, steepness, dose)
+        self.stats.gradient_seconds += time.perf_counter() - started
         if single:
             return float(errors[0]), grads[0]
         return errors, grads

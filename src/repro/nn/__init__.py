@@ -33,8 +33,9 @@ from .modules import (AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d,
                       ConvTranspose2d, Dropout, Flatten, LeakyReLU, Linear,
                       MaxPool2d, Module, Parameter, ReLU, Sequential,
                       Sigmoid, Tanh, UpsampleNearest2d)
-from .optim import SGD, Adam, ExponentialLR, Optimizer, StepLR
-from .serialization import load_state, save_state
+from .optim import (SGD, Adam, ExponentialLR, Optimizer, StepLR,
+                    clip_grad_norm_, global_grad_norm)
+from .serialization import CheckpointLoadError, load_state, save_state
 from .tensor import (Tensor, concatenate, full, is_grad_enabled, maximum,
                      no_grad, ones, pad2d, stack, where, zeros)
 
@@ -51,5 +52,6 @@ __all__ = [
     "Sigmoid", "Tanh", "Flatten", "AvgPool2d", "MaxPool2d",
     "UpsampleNearest2d", "Dropout",
     "Optimizer", "SGD", "Adam", "StepLR", "ExponentialLR",
-    "save_state", "load_state",
+    "clip_grad_norm_", "global_grad_norm",
+    "save_state", "load_state", "CheckpointLoadError",
 ]

@@ -134,6 +134,38 @@ class Adam(Optimizer):
         self._v = [None if v is None else v.copy() for v in state["v"]]
 
 
+def global_grad_norm(parameters: Iterable[Parameter]) -> float:
+    """Euclidean norm of all gradients concatenated into one vector.
+
+    Parameters without a gradient are ignored; an empty gradient set
+    has norm 0.  The norm is NaN/Inf whenever any gradient entry is,
+    which is what the divergence guards key off.
+    """
+    total = 0.0
+    for param in parameters:
+        if param.grad is not None:
+            grad = param.grad
+            total += float(np.dot(grad.ravel(), grad.ravel()))
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm_(parameters: Iterable[Parameter],
+                    max_norm: Optional[float] = None) -> float:
+    """Scale gradients in place so their global norm is <= ``max_norm``.
+
+    Returns the *pre-clip* global norm.  ``max_norm=None`` only
+    measures; a non-finite norm is returned unclipped so callers can
+    apply their divergence policy instead of silently zeroing updates.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    norm = global_grad_norm(params)
+    if (max_norm is not None and np.isfinite(norm) and norm > max_norm):
+        scale = max_norm / (norm + 1e-12)
+        for param in params:
+            param.grad = param.grad * scale
+    return norm
+
+
 class StepLR:
     """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
 

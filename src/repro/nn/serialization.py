@@ -5,16 +5,29 @@ checkpoints portable, dependency-free and human-inspectable with
 ``np.load``.  Used by the training examples to persist generator /
 discriminator weights between the pre-training (Algorithm 2) and
 adversarial (Algorithm 1) phases.
+
+Loading fails loudly: a corrupt or truncated archive raises
+:class:`CheckpointLoadError` (never garbage weights), and a state dict
+whose keys or shapes do not match the module's architecture raises
+with the offending parameter names (see
+:meth:`~repro.nn.modules.Module.load_state_dict`).  Full *training*
+checkpoints — optimizer moments, RNG state, iteration counters — are
+handled one layer up by :mod:`repro.runtime.checkpoint`.
 """
 
 from __future__ import annotations
 
 import os
+import zipfile
 from typing import Dict
 
 import numpy as np
 
 from .modules import Module
+
+
+class CheckpointLoadError(RuntimeError):
+    """A module checkpoint file is corrupt, truncated or unreadable."""
 
 
 def save_state(module: Module, path: str) -> None:
@@ -26,9 +39,29 @@ def save_state(module: Module, path: str) -> None:
 
 
 def load_state(module: Module, path: str) -> None:
-    """Load an ``.npz`` checkpoint produced by :func:`save_state`."""
+    """Load an ``.npz`` checkpoint produced by :func:`save_state`.
+
+    Raises
+    ------
+    FileNotFoundError
+        ``path`` (or ``path + ".npz"``) does not exist.
+    CheckpointLoadError
+        The file exists but is not a readable ``.npz`` archive
+        (corrupt download, truncated write, wrong file type).
+    KeyError / ValueError
+        The archive loaded but its keys or array shapes do not match
+        ``module`` — the message names every offending parameter.
+    """
     if not os.path.exists(path) and os.path.exists(path + ".npz"):
         path = path + ".npz"
-    with np.load(path) as archive:
-        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"checkpoint {path!r} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            state: Dict[str, np.ndarray] = {
+                key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError,
+            KeyError) as exc:
+        raise CheckpointLoadError(
+            f"checkpoint {path!r} is corrupt or truncated: {exc}") from exc
     module.load_state_dict(state)

@@ -1,0 +1,24 @@
+"""``repro.runtime`` — training robustness and observability substrate.
+
+Checkpoint/resume (:mod:`~repro.runtime.checkpoint`), divergence guard
+rails (:mod:`~repro.runtime.guards`), structured JSONL telemetry
+(:mod:`~repro.runtime.telemetry`) and the :class:`TrainingHarness` that
+wires all three into the Algorithm 1 / Algorithm 2 training loops and
+the inference flow.
+"""
+
+from .checkpoint import (CheckpointError, Checkpointer, TrainingState,
+                         capture_state, restore_state)
+from .guards import POLICIES, DivergenceError, nonfinite_entries
+from .harness import RunConfig, TrainingHarness
+from .telemetry import (RunLogger, TelemetrySchemaError, sanitize,
+                        telemetry_schema, validate_record)
+
+__all__ = [
+    "CheckpointError", "Checkpointer", "TrainingState",
+    "capture_state", "restore_state",
+    "POLICIES", "DivergenceError", "nonfinite_entries",
+    "RunConfig", "TrainingHarness",
+    "RunLogger", "TelemetrySchemaError", "sanitize",
+    "telemetry_schema", "validate_record",
+]

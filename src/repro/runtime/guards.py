@@ -1,0 +1,49 @@
+"""Divergence guard rails for the training loops.
+
+Long CPU training runs of Algorithms 1 and 2 occasionally produce a
+non-finite loss (saturated discriminator log, exploding litho
+gradient).  The substrate offers three configurable reactions, chosen
+by ``RunConfig.policy``:
+
+* ``"raise"``    — abort immediately with :class:`DivergenceError`
+  (the default: fail loudly rather than train on garbage);
+* ``"rollback"`` — restore the last checkpoint snapshot (weights and
+  optimizer moments), multiply every learning rate by ``lr_backoff``
+  and continue with the next mini-batch;
+* ``"skip"``     — leave the weights untouched, skip this update and
+  continue.
+
+Every recovery is counted; exceeding ``max_recoveries`` escalates to
+:class:`DivergenceError` regardless of policy, so a run that keeps
+diverging cannot loop forever.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+POLICIES = ("raise", "rollback", "skip")
+
+
+class DivergenceError(RuntimeError):
+    """Training produced a non-finite loss/gradient and cannot continue."""
+
+    def __init__(self, phase: str, iteration, values: Dict[str, float],
+                 recoveries: int = 0):
+        self.phase = phase
+        self.iteration = iteration
+        self.values = dict(values)
+        self.recoveries = recoveries
+        rendered = ", ".join(f"{k}={v!r}" for k, v in self.values.items())
+        suffix = (f" after {recoveries} recovery attempts"
+                  if recoveries else "")
+        super().__init__(
+            f"non-finite training signal in phase {phase!r} at iteration "
+            f"{iteration}: {rendered}{suffix}")
+
+
+def nonfinite_entries(values: Dict[str, float]) -> Dict[str, float]:
+    """The subset of ``values`` that is NaN or infinite."""
+    return {key: float(value) for key, value in values.items()
+            if not math.isfinite(value)}

@@ -1,0 +1,199 @@
+"""Structured JSONL run telemetry.
+
+:class:`RunLogger` appends one strict-JSON object per line to a
+telemetry file: per-iteration losses and gradient norms, wall-clock per
+phase, lithography-engine call counts, checkpoint/divergence/resume
+events.  The record layout is pinned by the checked-in schema
+``telemetry_schema.json`` and *every* record is validated against it
+before it is written — the schema is a contract for downstream
+consumers (dashboards, regression tests), not documentation.
+
+Non-finite floats are encoded as the strings ``"nan"`` / ``"inf"`` /
+``"-inf"`` so emitted lines always parse under strict JSON (a NaN
+iteration is precisely when telemetry matters most).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__),
+                           "telemetry_schema.json")
+
+_schema_cache: Optional[dict] = None
+
+
+class TelemetrySchemaError(ValueError):
+    """A telemetry record does not conform to the checked-in schema."""
+
+
+def telemetry_schema() -> dict:
+    """The parsed contents of ``telemetry_schema.json`` (cached)."""
+    global _schema_cache
+    if _schema_cache is None:
+        with open(SCHEMA_PATH, "r", encoding="utf-8") as fh:
+            _schema_cache = json.load(fh)
+    return _schema_cache
+
+
+# ----------------------------------------------------------------------
+# value sanitization
+# ----------------------------------------------------------------------
+def sanitize(value):
+    """Convert a value into strict-JSON-safe primitives.
+
+    numpy scalars become Python scalars; non-finite floats become the
+    strings ``"nan"`` / ``"inf"`` / ``"-inf"``; dicts are sanitized
+    recursively.
+    """
+    if isinstance(value, dict):
+        return {str(key): sanitize(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(entry) for entry in value]
+    if isinstance(value, (bool, str)) or value is None:
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    raise TypeError(f"cannot serialize {type(value).__name__} into telemetry")
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+_NONFINITE_STRINGS = ("nan", "inf", "-inf")
+
+
+def _check_type(name: str, value, type_name: str) -> None:
+    if type_name == "integer":
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif type_name == "number":
+        ok = (isinstance(value, (int, float))
+              and not isinstance(value, bool)
+              and math.isfinite(value))
+    elif type_name == "string":
+        ok = isinstance(value, str)
+    elif type_name == "maybe_number":
+        ok = (value is None
+              or (isinstance(value, str) and value in _NONFINITE_STRINGS)
+              or (isinstance(value, (int, float))
+                  and not isinstance(value, bool)
+                  and math.isfinite(value)))
+    elif type_name == "loss_map":
+        ok = isinstance(value, dict)
+        if ok:
+            for key, entry in value.items():
+                _check_type(f"{name}[{key!r}]", entry, "maybe_number")
+    elif type_name == "stats_map":
+        ok = isinstance(value, dict)
+        if ok:
+            for key, entry in value.items():
+                _check_type(f"{name}[{key!r}]", entry, "number")
+    else:
+        raise TelemetrySchemaError(
+            f"schema references unknown type {type_name!r}")
+    if not ok:
+        raise TelemetrySchemaError(
+            f"field {name!r} = {value!r} is not a valid {type_name}")
+
+
+def validate_record(record: dict) -> None:
+    """Raise :class:`TelemetrySchemaError` unless ``record`` conforms."""
+    if not isinstance(record, dict):
+        raise TelemetrySchemaError(
+            f"telemetry record must be an object, got "
+            f"{type(record).__name__}")
+    schema = telemetry_schema()
+    common = schema["common"]["required"]
+    for key, type_name in common.items():
+        if key not in record:
+            raise TelemetrySchemaError(f"missing required field {key!r}")
+        _check_type(key, record[key], type_name)
+    if record["schema"] != schema["version"]:
+        raise TelemetrySchemaError(
+            f"record schema version {record['schema']!r} != "
+            f"{schema['version']}")
+    event = record["event"]
+    if event not in schema["events"]:
+        raise TelemetrySchemaError(f"unknown event type {event!r}")
+    spec = schema["events"][event]
+    for key, type_name in spec["required"].items():
+        if key not in record:
+            raise TelemetrySchemaError(
+                f"event {event!r} missing required field {key!r}")
+        _check_type(key, record[key], type_name)
+    allowed = set(common) | set(spec["required"]) | set(spec["optional"])
+    for key in record:
+        if key not in allowed:
+            raise TelemetrySchemaError(
+                f"event {event!r} does not allow field {key!r}")
+        if key in spec["optional"] and record[key] is not None:
+            _check_type(key, record[key], spec["optional"][key])
+
+
+# ----------------------------------------------------------------------
+class RunLogger:
+    """Append-only JSONL telemetry writer for one run phase.
+
+    Parameters
+    ----------
+    path:
+        Telemetry file; parent directories are created on demand.
+    phase:
+        Stamped on every record (``"pretrain"``, ``"gan"``, ``"flow"``).
+    append:
+        Open in append mode (used when resuming a run) instead of
+        truncating.
+    """
+
+    def __init__(self, path: str, phase: str, append: bool = False):
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self.path = path
+        self.phase = phase
+        self._fh = open(path, "a" if append else "w", encoding="utf-8")
+
+    def event(self, event: str, **fields) -> None:
+        """Validate and write one telemetry record."""
+        record = {"schema": SCHEMA_VERSION, "event": event,
+                  "phase": self.phase, "ts": time.time()}
+        for key, value in fields.items():
+            if value is None:
+                continue
+            record[key] = sanitize(value)
+        validate_record(record)
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  allow_nan=False) + "\n")
+        self._fh.flush()
+
+    def iteration(self, iteration: int, losses: Dict[str, float],
+                  seconds: float,
+                  grad_norms: Optional[Dict[str, float]] = None,
+                  action: Optional[str] = None,
+                  litho: Optional[Dict[str, float]] = None) -> None:
+        self.event("iteration", iteration=iteration, losses=losses,
+                   seconds=seconds, grad_norms=grad_norms or None,
+                   action=action, litho=litho)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunLogger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

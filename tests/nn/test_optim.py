@@ -150,3 +150,48 @@ class TestSchedulers:
         np.testing.assert_allclose(opt.lr, 1.0)
         sched.step()
         np.testing.assert_allclose(opt.lr, 0.5)
+
+
+class TestGradNorm:
+    def _params(self, *grads):
+        params = []
+        for grad in grads:
+            p = Parameter(np.zeros(np.shape(grad) or (1,)))
+            p.grad = None if grad is None else np.asarray(grad, dtype=float)
+            params.append(p)
+        return params
+
+    def test_global_norm(self):
+        params = self._params([3.0, 0.0], [0.0, 4.0])
+        np.testing.assert_allclose(nn.global_grad_norm(params), 5.0)
+
+    def test_gradless_params_ignored(self):
+        params = self._params([3.0], None)
+        np.testing.assert_allclose(nn.global_grad_norm(params), 3.0)
+        assert nn.global_grad_norm(self._params(None)) == 0.0
+
+    def test_clip_scales_in_place(self):
+        params = self._params([3.0, 0.0], [0.0, 4.0])
+        norm = nn.clip_grad_norm_(params, max_norm=1.0)
+        np.testing.assert_allclose(norm, 5.0)  # pre-clip norm returned
+        np.testing.assert_allclose(nn.global_grad_norm(params), 1.0,
+                                   rtol=1e-9)
+
+    def test_no_clip_below_threshold(self):
+        params = self._params([0.3, 0.4])
+        norm = nn.clip_grad_norm_(params, max_norm=1.0)
+        np.testing.assert_allclose(norm, 0.5)
+        np.testing.assert_allclose(params[0].grad, [0.3, 0.4])
+
+    def test_none_max_norm_only_measures(self):
+        params = self._params([30.0])
+        assert nn.clip_grad_norm_(params, None) == 30.0
+        np.testing.assert_allclose(params[0].grad, [30.0])
+
+    def test_nonfinite_norm_returned_unclipped(self):
+        params = self._params([np.nan, 1.0])
+        norm = nn.clip_grad_norm_(params, max_norm=1.0)
+        assert not np.isfinite(norm)
+        # Gradients are left as-is so the caller's divergence policy
+        # decides, rather than silently zeroing the update.
+        assert np.isnan(params[0].grad[0])

@@ -1,6 +1,7 @@
 """Unit tests for module checkpointing."""
 
 import numpy as np
+import pytest
 
 from repro import nn
 from repro.nn.tensor import Tensor
@@ -36,6 +37,47 @@ class TestSaveLoad:
         nn.save_state(_net(1), path)
         import os
         assert os.path.exists(path)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            nn.load_state(_net(1), str(tmp_path / "nowhere.npz"))
+
+    def test_corrupt_file_raises_clear_error(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"definitely not a zip archive")
+        with pytest.raises(nn.CheckpointLoadError,
+                           match="corrupt or truncated"):
+            nn.load_state(_net(1), path)
+
+    def test_truncated_file_raises_clear_error(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        nn.save_state(_net(1), path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[:len(blob) // 2])
+        with pytest.raises(nn.CheckpointLoadError,
+                           match="corrupt or truncated"):
+            nn.load_state(_net(2), path)
+
+    def test_architecture_mismatch_names_parameters(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        nn.save_state(_net(1), path)
+        rng = np.random.default_rng(0)
+        wider = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(),
+                              nn.Linear(8, 2, rng=rng),
+                              nn.Linear(2, 2, rng=rng))
+        with pytest.raises(KeyError, match="3.weight"):
+            nn.load_state(wider, path)
+
+    def test_shape_mismatch_names_parameter(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        nn.save_state(_net(1), path)
+        rng = np.random.default_rng(0)
+        wrong_width = nn.Sequential(nn.Linear(4, 16, rng=rng), nn.ReLU(),
+                                    nn.Linear(16, 2, rng=rng))
+        with pytest.raises((KeyError, ValueError), match="0.weight"):
+            nn.load_state(wrong_width, path)
 
     def test_batchnorm_buffers_preserved(self, tmp_path):
         rng = np.random.default_rng(0)

@@ -76,6 +76,51 @@ class TestSraf:
         assert len(assisted) >= len(original)
 
 
+class TestTrain:
+    def _args(self, tmp_path, *extra):
+        return ["train", "--phase", "pretrain", "--grid", "32",
+                "--iterations", "2", "--dataset-size", "2",
+                "--batch-size", "2", "--seed", "11",
+                "--checkpoint-dir", str(tmp_path / "ckpts"),
+                "--checkpoint-every", "1",
+                "--telemetry-dir", str(tmp_path / "telemetry"),
+                *extra]
+
+    def test_pretrain_writes_checkpoints_and_telemetry(self, tmp_path,
+                                                       capsys):
+        out = str(tmp_path / "gen.npz")
+        assert main(self._args(tmp_path, "--out", out)) == 0
+        assert "pretrain: 2 iterations" in capsys.readouterr().out
+        assert os.path.exists(out)
+        assert os.listdir(str(tmp_path / "ckpts" / "pretrain"))
+
+        import json
+
+        from repro.runtime import validate_record
+        telemetry = str(tmp_path / "telemetry" / "pretrain.jsonl")
+        records = [json.loads(line) for line in open(telemetry)]
+        for record in records:
+            validate_record(record)
+        assert [r["event"] for r in records].count("iteration") == 2
+
+    def test_resume_flag(self, tmp_path, capsys):
+        assert main(self._args(tmp_path)) == 0
+        capsys.readouterr()
+        args = self._args(tmp_path, "--resume")
+        args[args.index("--iterations") + 1] = "4"
+        assert main(args) == 0
+        assert "pretrain: 4 iterations" in capsys.readouterr().out
+
+        import json
+        telemetry = str(tmp_path / "telemetry" / "pretrain.jsonl")
+        events = [json.loads(line)["event"] for line in open(telemetry)]
+        assert "resume" in events
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["train", "--resume"]) == 2
+        assert "requires --checkpoint-dir" in capsys.readouterr().err
+
+
 class TestFlow:
     def test_runs_with_checkpoint(self, clip_file, tmp_path, capsys):
         config = GanOpcConfig.small(64)
