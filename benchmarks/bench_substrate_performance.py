@@ -18,16 +18,23 @@ same batch (64 px, batch 8).
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import numpy as np
 import pytest
 
+from repro.bench.record import BenchRecorder
 from repro.core import (GanOpcConfig, GanOpcTrainer, MaskGenerator,
                         PairDiscriminator)
+from repro.core.flow import GanOpcFlow
 from repro.ilt import litho_error_and_gradient
+from repro.ilt.optimizer import ILTConfig
 from repro.litho import LithoConfig, LithoEngine, build_kernels, aerial_image
 from repro.litho.resist import _stable_sigmoid
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def _wire_mask(grid):
@@ -148,6 +155,60 @@ def test_batched_gradient_at_least_2x_per_sample_loop():
         np.testing.assert_allclose(errors[i], ref_error, rtol=1e-10)
         np.testing.assert_allclose(grads[i], ref_grad,
                                    rtol=1e-10, atol=1e-10)
+
+
+def test_write_bench_substrate_record():
+    """Persist the substrate numbers as ``BENCH_substrate.json``.
+
+    Unlike the pytest-benchmark tables above, this record is
+    machine-readable and checked in at the repo root, so later changes
+    can diff their engine throughput and flow stage split against it.
+    """
+    recorder = BenchRecorder("substrate")
+
+    grid = 64
+    engine = LithoEngine.for_kernels(build_kernels(LithoConfig.small(grid)))
+    for batch in (1, 8):
+        masks = _mask_batch(grid, batch)
+        targets = _target_batch(grid, batch)
+        recorder.timeit(f"engine_forward/grid{grid}/batch{batch}",
+                        lambda: engine.aerial(masks),
+                        grid=grid, batch=batch)
+        recorder.timeit(
+            f"engine_gradient/grid{grid}/batch{batch}",
+            lambda: engine.error_and_gradient_wrt_mask(masks, targets),
+            grid=grid, batch=batch)
+
+    # Per-stage breakdown of the end-to-end flow: generator inference
+    # vs ILT refinement (the split behind Table 2's runtime column).
+    flow_grid = 32
+    config = LithoConfig.small(flow_grid)
+    gan_cfg = GanOpcConfig.small(flow_grid)
+    generator = MaskGenerator(gan_cfg.generator_channels,
+                              rng=np.random.default_rng(0))
+    generator.eval()
+    flow = GanOpcFlow(generator, config,
+                      ILTConfig(max_iterations=10, patience=4))
+    result = flow.optimize(_wire_mask(flow_grid))
+    recorder.add(f"flow_generation/grid{flow_grid}",
+                 result.generation_seconds, grid=flow_grid)
+    recorder.add(f"flow_refinement/grid{flow_grid}",
+                 result.refinement_seconds, grid=flow_grid,
+                 iterations=float(result.ilt_result.iterations))
+
+    path = recorder.write(os.path.join(REPO_ROOT, "BENCH_substrate.json"))
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    assert record["benchmark"] == "substrate"
+    assert record["schema"] == 1
+    entries = record["entries"]
+    assert f"engine_forward/grid{grid}/batch8" in entries
+    assert f"engine_gradient/grid{grid}/batch1" in entries
+    assert f"flow_generation/grid{flow_grid}" in entries
+    for name, entry in entries.items():
+        assert entry["seconds"] >= 0.0, name
+    assert entries[f"engine_forward/grid{grid}/batch8"][
+        "throughput_per_second"] > 0.0
 
 
 def test_generator_forward(benchmark):

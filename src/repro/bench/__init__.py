@@ -2,8 +2,9 @@
 
 The ICCAD-2013-substitute clip set (:mod:`iccad13`, matched to Table
 2's per-clip areas), the experiment harness regenerating the paper's
-tables and figures (:mod:`harness`), and dependency-free visualization
-outputs (:mod:`visualize`).
+tables and figures (:mod:`harness`), dependency-free visualization
+outputs (:mod:`visualize`), and machine-readable ``BENCH_*.json``
+regression records (:mod:`record`).
 """
 
 from .harness import (DefectComparison, ExperimentConfig, Pipeline,
@@ -11,6 +12,7 @@ from .harness import (DefectComparison, ExperimentConfig, Pipeline,
                       run_figure9, run_table2, train_generators)
 from .iccad13 import (PAPER_AVERAGES, PAPER_TABLE2, PAPER_WINDOW_NM,
                       BenchmarkClip, iccad13_suite, make_clip, scaled_area)
+from .record import BenchRecorder, load_record, measure
 from .visualize import (ascii_curve, montage, overlay_comparison, read_pgm,
                         save_gallery, write_pgm)
 
@@ -22,4 +24,5 @@ __all__ = [
     "run_figure8", "run_figure9", "DefectComparison",
     "write_pgm", "read_pgm", "montage", "ascii_curve",
     "overlay_comparison", "save_gallery",
+    "BenchRecorder", "measure", "load_record",
 ]

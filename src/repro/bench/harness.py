@@ -186,12 +186,24 @@ class Table2Result:
     masks: Dict[str, List[np.ndarray]]
     clips: List[BenchmarkClip]
     table: str = ""
+    #: per-method, per-clip runtime split: ``{"generation": s,
+    #: "refinement": s}``.  ILT has no generator, so its generation
+    #: stage is 0 and refinement carries the whole runtime — making the
+    #: stage columns directly comparable across methods.
+    stage_seconds: Dict[str, List[Dict[str, float]]] = field(
+        default_factory=dict)
 
     def averages(self, method: str) -> Tuple[float, float, float]:
         evals = self.columns[method]
         return (float(np.mean([e.l2_nm2 for e in evals])),
                 float(np.mean([e.pvband_nm2 for e in evals])),
                 float(np.mean([e.runtime_seconds for e in evals])))
+
+    def stage_averages(self, method: str) -> Dict[str, float]:
+        """Mean per-clip seconds of each flow stage for ``method``."""
+        stages = self.stage_seconds[method]
+        return {stage: float(np.mean([s[stage] for s in stages]))
+                for stage in ("generation", "refinement")}
 
     def ratio(self, method: str, baseline: str = "ILT") -> Tuple[float, float, float]:
         m = self.averages(method)
@@ -220,6 +232,8 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
         "ILT": [], "GAN-OPC": [], "PGAN-OPC": []}
     masks: Dict[str, List[np.ndarray]] = {
         "ILT": [], "GAN-OPC": [], "PGAN-OPC": []}
+    stage_seconds: Dict[str, List[Dict[str, float]]] = {
+        "ILT": [], "GAN-OPC": [], "PGAN-OPC": []}
 
     for clip in clips:
         target = (rasterize(clip.layout, cfg.grid) >= 0.5).astype(float)
@@ -231,6 +245,8 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
             pipeline.simulator, ilt_result.mask, target, layout=clip.layout,
             name=clip.name, runtime_seconds=ilt_runtime))
         masks["ILT"].append(ilt_result.mask)
+        stage_seconds["ILT"].append(
+            {"generation": 0.0, "refinement": ilt_runtime})
 
         for method, flow in flows.items():
             flow_result = flow.optimize(target)
@@ -239,8 +255,12 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
                 layout=clip.layout, name=clip.name,
                 runtime_seconds=flow_result.runtime_seconds))
             masks[method].append(flow_result.mask)
+            stage_seconds[method].append(
+                {"generation": flow_result.generation_seconds,
+                 "refinement": flow_result.refinement_seconds})
 
-    result = Table2Result(columns=columns, masks=masks, clips=clips)
+    result = Table2Result(columns=columns, masks=masks, clips=clips,
+                          stage_seconds=stage_seconds)
     result.table = comparison_table(columns, baseline="ILT")
     return result
 

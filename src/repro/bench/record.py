@@ -1,0 +1,100 @@
+"""Machine-readable benchmark records (``BENCH_*.json``).
+
+The benchmark suite's human-readable output (pytest-benchmark tables,
+printed speedups) is useless for regression tracking, so the substrate
+benchmarks also persist their numbers through :class:`BenchRecorder`:
+one flat JSON file per suite, checked in at the repo root, that future
+changes can diff against.  Entries are keyed by a stable
+``name/grid<G>/batch<B>`` string and carry best-of-N wall seconds plus
+derived throughput, so "did this PR slow the engine down?" is a
+one-line ``json.load`` away.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, Optional
+
+RECORD_SCHEMA_VERSION = 1
+
+
+def measure(fn: Callable[[], object], repeats: int = 5,
+            warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()``.
+
+    Minimum (not mean) — the minimum is the least noisy estimator of
+    the true cost on a shared machine; everything above it is
+    interference.
+    """
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class BenchRecorder:
+    """Collects named timing entries and writes one ``BENCH_*.json``."""
+
+    def __init__(self, benchmark: str):
+        self.benchmark = benchmark
+        self.entries: Dict[str, Dict[str, float]] = {}
+
+    def add(self, name: str, seconds: float,
+            grid: Optional[int] = None, batch: Optional[int] = None,
+            **extra: float) -> Dict[str, float]:
+        """Record one entry; ``batch`` adds derived throughput."""
+        entry: Dict[str, float] = {"seconds": float(seconds)}
+        if grid is not None:
+            entry["grid"] = int(grid)
+        if batch is not None:
+            entry["batch"] = int(batch)
+            if seconds > 0:
+                entry["throughput_per_second"] = float(batch / seconds)
+        for key, value in extra.items():
+            entry[key] = float(value)
+        self.entries[name] = entry
+        return entry
+
+    def timeit(self, name: str, fn: Callable[[], object],
+               grid: Optional[int] = None, batch: Optional[int] = None,
+               repeats: int = 5) -> Dict[str, float]:
+        """Measure ``fn`` with :func:`measure` and record the result."""
+        return self.add(name, measure(fn, repeats=repeats),
+                        grid=grid, batch=batch)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": RECORD_SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "machine": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+            },
+            "entries": {name: self.entries[name]
+                        for name in sorted(self.entries)},
+        }
+
+    def write(self, path: str) -> str:
+        """Atomically write the record as pretty-printed strict JSON."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True,
+                      allow_nan=False)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+
+def load_record(path: str) -> dict:
+    """Read a ``BENCH_*.json`` previously written by :class:`BenchRecorder`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -10,18 +10,46 @@ without writing Python:
 * ``train``      — run the training loops with the robustness
   substrate (checkpoint/resume, divergence guards, JSONL telemetry);
 * ``flow``       — run the GAN-OPC flow with a trained checkpoint;
-* ``table2``     — run the full Table 2 experiment at a chosen scale.
+* ``table2``     — run the full Table 2 experiment at a chosen scale;
+* ``profile``    — run a small end-to-end flow under the observability
+  layer and emit a Perfetto-loadable Chrome trace plus per-op tables.
 
-Layouts move as GLP text files, images as PGM; metrics print on stdout.
+``train`` and ``flow`` also accept ``--trace-dir`` to capture span
+traces alongside their normal outputs.  Layouts move as GLP text
+files, images as PGM; metrics print on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
 import numpy as np
+
+
+@contextlib.contextmanager
+def _trace_to(trace_dir: Optional[str], prefix: str):
+    """Scoped tracing for a CLI command: spans stream to
+    ``<trace_dir>/<prefix>-spans.jsonl`` during the run and the Chrome
+    trace is written on exit.  A falsy ``trace_dir`` is a no-op."""
+    if not trace_dir:
+        yield None
+        return
+    import os
+
+    from .obs import trace
+    tracer = trace.enable(jsonl_path=os.path.join(
+        trace_dir, f"{prefix}-spans.jsonl"))
+    try:
+        yield tracer
+    finally:
+        trace.disable()
+        path = tracer.write_chrome_trace(
+            os.path.join(trace_dir, f"{prefix}-trace.json"))
+        print(f"chrome trace written to {path} "
+              f"(load in https://ui.perfetto.dev)")
 
 
 def _litho(args):
@@ -163,28 +191,30 @@ def cmd_train(args) -> int:
                          max_grad_norm=args.max_grad_norm,
                          lr_backoff=args.lr_backoff)
 
-    if args.phase in ("pretrain", "both"):
-        pretrainer = ILTGuidedPretrainer(generator, litho, config,
-                                         engine=engine)
-        history = pretrainer.train(dataset, args.iterations,
-                                   verbose=args.verbose,
-                                   runtime=runtime("pretrain"))
-        final = history.litho_error[-1] if history.litho_error else float("nan")
-        print(f"pretrain: {history.iterations} iterations recorded, "
-              f"final litho error {final:.1f} "
-              f"({history.runtime_seconds:.2f}s)")
-    if args.phase in ("gan", "both"):
-        discriminator = PairDiscriminator(
-            litho.grid, config.discriminator_channels,
-            rng=np.random.default_rng(args.seed + 1))
-        trainer = GanOpcTrainer(generator, discriminator, config)
-        history = trainer.train(dataset, args.iterations,
-                                verbose=args.verbose,
-                                runtime=runtime("gan"))
-        final = (history.l2_to_reference[-1]
-                 if history.l2_to_reference else float("nan"))
-        print(f"gan: {history.iterations} iterations recorded, "
-              f"final l2 {final:.1f} ({history.runtime_seconds:.2f}s)")
+    with _trace_to(args.trace_dir, "train"):
+        if args.phase in ("pretrain", "both"):
+            pretrainer = ILTGuidedPretrainer(generator, litho, config,
+                                             engine=engine)
+            history = pretrainer.train(dataset, args.iterations,
+                                       verbose=args.verbose,
+                                       runtime=runtime("pretrain"))
+            final = (history.litho_error[-1]
+                     if history.litho_error else float("nan"))
+            print(f"pretrain: {history.iterations} iterations recorded, "
+                  f"final litho error {final:.1f} "
+                  f"({history.runtime_seconds:.2f}s)")
+        if args.phase in ("gan", "both"):
+            discriminator = PairDiscriminator(
+                litho.grid, config.discriminator_channels,
+                rng=np.random.default_rng(args.seed + 1))
+            trainer = GanOpcTrainer(generator, discriminator, config)
+            history = trainer.train(dataset, args.iterations,
+                                    verbose=args.verbose,
+                                    runtime=runtime("gan"))
+            final = (history.l2_to_reference[-1]
+                     if history.l2_to_reference else float("nan"))
+            print(f"gan: {history.iterations} iterations recorded, "
+                  f"final l2 {final:.1f} ({history.runtime_seconds:.2f}s)")
     if args.out:
         nn.save_state(generator, args.out)
         print(f"generator weights written to {args.out}")
@@ -215,7 +245,12 @@ def cmd_flow(args) -> int:
     flow = GanOpcFlow(generator, litho,
                       ILTConfig(max_iterations=args.iterations, patience=4),
                       engine=engine, logger=logger)
-    result = flow.optimize(target)
+    with _trace_to(args.trace_dir, "flow") as tracer:
+        result = flow.optimize(target)
+        if tracer is not None and logger is not None:
+            logger.span_summary(tracer.summary(),
+                                wall_seconds=tracer.wall_seconds(),
+                                coverage=tracer.coverage())
     evaluation = evaluate_mask(LithoSimulator(litho, engine=engine),
                                result.mask, target,
                                layout=layout, name=layout.name or "clip",
@@ -227,6 +262,79 @@ def cmd_flow(args) -> int:
         print(f"{key}: {value}")
     write_pgm(result.mask, args.out)
     print(f"mask written to {args.out}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Profile a small end-to-end GAN-OPC flow run.
+
+    Enables the span tracer and the per-op autograd profiler, runs
+    generator inference + ILT refinement on one clip, then prints the
+    span/op/module tables and writes the Chrome trace (Perfetto) plus
+    the JSONL span stream under ``--trace-dir``.
+    """
+    import os
+    import time
+
+    from . import nn
+    from .core import GanOpcConfig, GanOpcFlow, MaskGenerator
+    from .ilt import ILTConfig
+    from .obs import profiler, trace
+
+    os.makedirs(args.trace_dir, exist_ok=True)
+    spans_path = os.path.join(args.trace_dir, "spans.jsonl")
+    tracer = trace.enable(jsonl_path=spans_path)
+    prof = profiler.enable()
+    wall_started = time.perf_counter()
+    try:
+        with trace.span("profile.setup"):
+            litho = _litho(args)
+            engine = _engine(litho)
+            if args.clip:
+                _, target = _load_target(args.clip, litho.grid)
+            else:
+                from .geometry import binarize, rasterize
+                from .layoutgen import LayoutSynthesizer, TopologyConfig
+                topo = TopologyConfig(
+                    extent=litho.extent_nm,
+                    margin=min(120.0, litho.extent_nm / 8.0))
+                clip = LayoutSynthesizer(topo).generate_batch(
+                    1, seed=args.seed)[0]
+                target = binarize(rasterize(clip, litho.grid))
+            config = GanOpcConfig.small(litho.grid)
+            generator = MaskGenerator(config.generator_channels,
+                                      rng=np.random.default_rng(args.seed))
+            if args.checkpoint:
+                nn.load_state(generator, args.checkpoint)
+            flow = GanOpcFlow(
+                generator, litho,
+                ILTConfig(max_iterations=args.iterations, patience=4),
+                engine=engine)
+        with trace.span("profile.flow"):
+            result = flow.optimize(target)
+    finally:
+        wall = time.perf_counter() - wall_started
+        profiler.disable()
+        trace.disable()
+    chrome_path = tracer.write_chrome_trace(
+        os.path.join(args.trace_dir, "trace.json"))
+
+    coverage = tracer.coverage(wall)
+    print(trace.format_span_table(tracer.summary(), wall))
+    print()
+    print(prof.table())
+    if prof.module_stats():
+        print()
+        print(prof.module_table())
+    print()
+    print(f"flow: generation {result.generation_seconds:.3f}s, "
+          f"refinement {result.refinement_seconds:.3f}s "
+          f"({result.ilt_result.iterations} steps), l2 {result.l2:.1f}")
+    print(f"wall {wall:.3f}s; top-level spans cover "
+          f"{100.0 * coverage:.1f}% of wall")
+    print(f"chrome trace written to {chrome_path} "
+          f"(load in https://ui.perfetto.dev)")
+    print(f"span stream written to {spans_path}")
     return 0
 
 
@@ -242,6 +350,11 @@ def cmd_table2(args) -> int:
     generators = train_generators(pipeline, verbose=args.verbose)
     result = run_table2(pipeline, generators)
     print(result.table)
+    print("per-stage runtime (mean seconds per clip):")
+    for method in ("ILT", "GAN-OPC", "PGAN-OPC"):
+        stages = result.stage_averages(method)
+        print(f"  {method:>9}: generation {stages['generation']:8.3f}s   "
+              f"refinement {stages['refinement']:8.3f}s")
     return 0
 
 
@@ -309,6 +422,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="clip the global gradient norm of each update")
     p.add_argument("--lr-backoff", type=float, default=0.5,
                    help="learning-rate multiplier applied on rollback")
+    p.add_argument("--trace-dir",
+                   help="capture span traces (Chrome trace JSON + JSONL "
+                        "stream) under this directory")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_train)
 
@@ -319,8 +435,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=100)
     p.add_argument("--telemetry-dir",
                    help="write JSONL flow telemetry under this directory")
+    p.add_argument("--trace-dir",
+                   help="capture span traces (Chrome trace JSON + JSONL "
+                        "stream) under this directory")
     p.add_argument("--out", default="mask.pgm")
     p.set_defaults(func=cmd_flow)
+
+    p = sub.add_parser(
+        "profile", help="profile a small end-to-end flow: span tracer, "
+                        "per-op autograd profiler, Chrome trace export")
+    p.add_argument("--clip", help="target layout (.glp); default: "
+                                  "synthesize one")
+    p.add_argument("--checkpoint",
+                   help="generator .npz checkpoint; default: random init")
+    p.add_argument("--grid", type=int, default=64)
+    p.add_argument("--iterations", type=int, default=20,
+                   help="ILT refinement iteration cap")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace-dir", default="profile-trace",
+                   help="output directory for trace.json and spans.jsonl")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("table2", help="run the Table 2 experiment")
     p.add_argument("--scale", choices=("quick", "medium", "full"),

@@ -16,6 +16,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import trace
+
 from ..ilt.optimizer import ILTConfig, ILTOptimizer, ILTResult
 from ..litho.config import LithoConfig
 from ..litho.engine import LithoEngine
@@ -100,12 +102,19 @@ class GanOpcFlow:
                         if self.logger is not None else None)
 
         start = time.perf_counter()
-        generated = self.generator.generate(target)
+        with trace.span("flow.generate"):
+            generated = self.generator.generate(target)
         generation_seconds = time.perf_counter() - start
 
-        ilt_result = self.refiner.optimize(
-            target, initial_mask=generated,
-            max_iterations=refine_iterations)
+        with trace.span("flow.refine"):
+            ilt_result = self.refiner.optimize(
+                target, initial_mask=generated,
+                max_iterations=refine_iterations)
+        metrics = self.engine.metrics
+        metrics.histogram("flow.generation_seconds").observe(
+            generation_seconds)
+        metrics.histogram("flow.refinement_seconds").observe(
+            ilt_result.runtime_seconds)
 
         if self.logger is not None:
             self.logger.event(

@@ -25,6 +25,9 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import trace
+from repro.obs.registry import default_registry
+
 from .. import nn
 from ..layoutgen.dataset import SyntheticDataset
 from ..runtime import RunConfig, TrainingHarness
@@ -72,6 +75,9 @@ class GanOpcTrainer:
                                    lr=self.config.learning_rate_g)
         self.optimizer_d = nn.Adam(discriminator.parameters(),
                                    lr=self.config.learning_rate_d)
+        # Per-phase step timing lands in the process-wide registry (the
+        # trainer owns no litho engine, hence no engine-scoped one).
+        self.metrics = default_registry()
 
     # ------------------------------------------------------------------
     def generator_step(self, targets: np.ndarray,
@@ -86,24 +92,28 @@ class GanOpcTrainer:
         guarded: a non-finite loss or gradient norm triggers the
         configured divergence policy before any weight is touched.
         """
-        target_t = nn.Tensor(targets)
-        reference_t = nn.Tensor(reference_masks)
+        step_started = time.perf_counter()
+        with trace.span("gan.generator_step", batch=len(targets)):
+            target_t = nn.Tensor(targets)
+            reference_t = nn.Tensor(reference_masks)
 
-        self.optimizer_g.zero_grad()
-        self.discriminator.zero_grad()
-        fake = self.generator(target_t)
-        d_fake = self.discriminator(target_t, fake)
-        adversarial = nn.bce_loss(d_fake, nn.ones(d_fake.shape))
-        regression = nn.mse_loss(fake, reference_t, reduction="mean")
-        loss = adversarial + self.config.alpha * regression
-        loss_value = float(loss.data)
-        if harness is None:
-            loss.backward()
-            self.optimizer_g.step()
-        else:
-            harness.apply_update({"generator_loss": loss_value},
-                                 loss.backward, self.optimizer_g,
-                                 tag="generator")
+            self.optimizer_g.zero_grad()
+            self.discriminator.zero_grad()
+            fake = self.generator(target_t)
+            d_fake = self.discriminator(target_t, fake)
+            adversarial = nn.bce_loss(d_fake, nn.ones(d_fake.shape))
+            regression = nn.mse_loss(fake, reference_t, reduction="mean")
+            loss = adversarial + self.config.alpha * regression
+            loss_value = float(loss.data)
+            if harness is None:
+                loss.backward()
+                self.optimizer_g.step()
+            else:
+                harness.apply_update({"generator_loss": loss_value},
+                                     loss.backward, self.optimizer_g,
+                                     tag="generator")
+        self.metrics.histogram("gan.generator_step_seconds").observe(
+            time.perf_counter() - step_started)
 
         diff = fake.data - reference_masks
         l2_sum = float(np.sum(diff * diff) / len(targets))
@@ -115,30 +125,35 @@ class GanOpcTrainer:
                            harness: Optional[TrainingHarness] = None
                            ) -> float:
         """Update D on Eq. 8 (paper objective) or standard BCE."""
-        target_t = nn.Tensor(targets)
+        step_started = time.perf_counter()
+        with trace.span("gan.discriminator_step", batch=len(targets)):
+            target_t = nn.Tensor(targets)
 
-        self.optimizer_d.zero_grad()
-        self.generator.zero_grad()
-        d_fake = self.discriminator(target_t, nn.Tensor(fake_masks))
-        d_real = self.discriminator(target_t, nn.Tensor(reference_masks))
+            self.optimizer_d.zero_grad()
+            self.generator.zero_grad()
+            d_fake = self.discriminator(target_t, nn.Tensor(fake_masks))
+            d_real = self.discriminator(target_t, nn.Tensor(reference_masks))
 
-        if self.config.discriminator_loss == "paper":
-            # Literal Algorithm 1 line 8, clamped for finiteness:
-            # l_d = log D(fake) - log D(real).
-            loss = (d_fake.clip(_EPS, 1.0).log().mean()
-                    - d_real.clip(_EPS, 1.0).log().mean())
-        else:
-            real_label = 1.0 - self.config.label_smoothing
-            loss = (nn.bce_loss(d_fake, nn.zeros(d_fake.shape))
-                    + nn.bce_loss(d_real, nn.full(d_real.shape, real_label)))
-        loss_value = float(loss.data)
-        if harness is None:
-            loss.backward()
-            self.optimizer_d.step()
-        else:
-            harness.apply_update({"discriminator_loss": loss_value},
-                                 loss.backward, self.optimizer_d,
-                                 tag="discriminator")
+            if self.config.discriminator_loss == "paper":
+                # Literal Algorithm 1 line 8, clamped for finiteness:
+                # l_d = log D(fake) - log D(real).
+                loss = (d_fake.clip(_EPS, 1.0).log().mean()
+                        - d_real.clip(_EPS, 1.0).log().mean())
+            else:
+                real_label = 1.0 - self.config.label_smoothing
+                loss = (nn.bce_loss(d_fake, nn.zeros(d_fake.shape))
+                        + nn.bce_loss(d_real,
+                                      nn.full(d_real.shape, real_label)))
+            loss_value = float(loss.data)
+            if harness is None:
+                loss.backward()
+                self.optimizer_d.step()
+            else:
+                harness.apply_update({"discriminator_loss": loss_value},
+                                     loss.backward, self.optimizer_d,
+                                     tag="discriminator")
+        self.metrics.histogram("gan.discriminator_step_seconds").observe(
+            time.perf_counter() - step_started)
         return loss_value
 
     def train_iteration(self, targets: np.ndarray,

@@ -29,6 +29,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import trace
+
 from .. import nn
 from ..litho.config import LithoConfig
 from ..litho.engine import LithoEngine
@@ -106,23 +108,31 @@ class ILTGuidedPretrainer:
         litho error or gradient norm triggers the configured divergence
         policy instead of poisoning the generator.
         """
-        self.optimizer.zero_grad()
-        batch = nn.Tensor(targets)
-        masks = self.generator(batch)
-        errors, gradients = self.batch_litho_gradient(masks.data, targets)
-        error = float(errors.mean())
+        step_started = time.perf_counter()
+        with trace.span("pretrain.step", batch=len(targets)):
+            self.optimizer.zero_grad()
+            batch = nn.Tensor(targets)
+            with trace.span("pretrain.generator_forward"):
+                masks = self.generator(batch)
+            with trace.span("pretrain.litho_gradient"):
+                errors, gradients = self.batch_litho_gradient(masks.data,
+                                                              targets)
+            error = float(errors.mean())
 
-        # Line 8: accumulate dE/dM * dM/dW_g; mini-batch averaging
-        # happens here (Eq. 15's lambda/m).
-        def backward():
-            masks.backward(gradients / len(targets))
+            # Line 8: accumulate dE/dM * dM/dW_g; mini-batch averaging
+            # happens here (Eq. 15's lambda/m).
+            def backward():
+                masks.backward(gradients / len(targets))
 
-        if harness is None:
-            backward()
-            self.optimizer.step()
-        else:
-            harness.apply_update({"litho_error": error}, backward,
-                                 self.optimizer, tag="generator")
+            with trace.span("pretrain.update"):
+                if harness is None:
+                    backward()
+                    self.optimizer.step()
+                else:
+                    harness.apply_update({"litho_error": error}, backward,
+                                         self.optimizer, tag="generator")
+        self.engine.metrics.histogram("pretrain.step_seconds").observe(
+            time.perf_counter() - step_started)
         return error
 
     def train(self, dataset: SyntheticDataset, iterations: int,

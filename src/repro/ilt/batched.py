@@ -25,6 +25,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import trace
+
 from ..litho.config import LithoConfig
 from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
@@ -87,15 +89,26 @@ class BatchedILTOptimizer:
         best_masks, best_l2 = self._discrete_scores(params, targets)
         history: List[float] = []
 
+        metrics = self.engine.metrics
+        step_hist = metrics.histogram("ilt.batched_step_seconds")
+        error_hist = metrics.histogram("ilt.batched_relaxed_error",
+                                       keep_values=True)
+
         step = 0
         for step in range(1, iterations + 1):
-            errors, grad = self._error_and_gradient(params, targets)
-            history.append(float(errors.mean()))
-            velocity = cfg.momentum * velocity - cfg.step_size * grad
-            params = params + velocity
+            step_started = time.perf_counter()
+            with trace.span("ilt.batched_step", iteration=step,
+                            batch=targets.shape[0]):
+                errors, grad = self._error_and_gradient(params, targets)
+                history.append(float(errors.mean()))
+                velocity = cfg.momentum * velocity - cfg.step_size * grad
+                params = params + velocity
+            step_hist.observe(time.perf_counter() - step_started)
+            error_hist.observe(history[-1])
 
             if step % cfg.eval_interval == 0 or step == iterations:
-                masks, l2 = self._discrete_scores(params, targets)
+                with trace.span("ilt.batched_evaluate", iteration=step):
+                    masks, l2 = self._discrete_scores(params, targets)
                 improved = l2 < best_l2
                 best_masks[improved] = masks[improved]
                 best_l2 = np.minimum(best_l2, l2)

@@ -27,6 +27,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import trace
+
 from ..litho.config import LithoConfig
 from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
@@ -223,14 +225,23 @@ class ILTOptimizer:
         converged = False
         step = 0
 
+        metrics = self.engine.metrics
+        step_hist = metrics.histogram("ilt.step_seconds")
+        error_hist = metrics.histogram("ilt.relaxed_error", keep_values=True)
+
         for step in range(1, iterations + 1):
-            error, grad = self._objective_gradient(params, target)
-            relaxed_history.append(error)
-            velocity = cfg.momentum * velocity - cfg.step_size * grad
-            params = params + velocity
+            step_started = time.perf_counter()
+            with trace.span("ilt.step", iteration=step):
+                error, grad = self._objective_gradient(params, target)
+                relaxed_history.append(error)
+                velocity = cfg.momentum * velocity - cfg.step_size * grad
+                params = params + velocity
+            step_hist.observe(time.perf_counter() - step_started)
+            error_hist.observe(error)
 
             if step % cfg.eval_interval == 0 or step == iterations:
-                mask, l2 = self._discrete_score(params, target)
+                with trace.span("ilt.evaluate", iteration=step):
+                    mask, l2 = self._discrete_score(params, target)
                 l2_history.append(l2)
                 if l2 < best_l2:
                     best_l2 = l2

@@ -40,10 +40,12 @@ facades in :mod:`repro.litho.aerial`, :mod:`repro.litho.simulator` and
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
+
+from repro.obs import trace
+from repro.obs.registry import MetricsRegistry
 
 from .config import LithoConfig
 from .kernels import KernelSet, build_kernels
@@ -52,30 +54,55 @@ from .resist import binarize_mask, hard_resist, sigmoid_mask, _stable_sigmoid
 ArrayOrScalar = Union[float, np.ndarray]
 
 
-@dataclass
 class EngineStats:
     """Cumulative call counters and wall-clock for one engine instance.
 
-    ``forward_*`` counts every execution of the fused aerial-intensity
-    pipeline, *including* the forward pass nested inside each adjoint
-    evaluation; ``gradient_*`` counts public adjoint calls
-    (:meth:`LithoEngine.error_and_gradient_wrt_mask` and everything
-    built on it), and ``gradient_seconds`` includes the nested forward
-    time.  ``*_masks`` accumulate batch sizes, so throughput is
-    ``masks / seconds``.  The run telemetry records per-iteration
-    deltas of :meth:`snapshot`.
+    A facade over the engine's :class:`~repro.obs.MetricsRegistry` —
+    the counters live in the registry (under ``litho.*`` names) and
+    this class preserves the historic attribute / ``snapshot()`` /
+    ``delta()`` API on top of them.
+
+    ``forward_*`` counts executions of the *public* aerial-intensity
+    pipeline only; the forward pass nested inside each adjoint
+    evaluation is attributed to ``gradient_*`` instead, so
+    ``forward_seconds`` and ``gradient_seconds`` partition engine
+    compute time with no double-counting, and the call counters
+    reconcile 1:1 with the ``litho.forward`` / ``litho.adjoint`` span
+    counts of an active tracer.  ``*_masks`` accumulate batch sizes,
+    so throughput is ``masks / seconds``.  The run telemetry records
+    per-iteration deltas of :meth:`snapshot`.
     """
 
-    forward_calls: int = 0
-    forward_masks: int = 0
-    forward_seconds: float = 0.0
-    gradient_calls: int = 0
-    gradient_masks: int = 0
-    gradient_seconds: float = 0.0
+    _INT_FIELDS = ("forward_calls", "forward_masks",
+                   "gradient_calls", "gradient_masks")
+    _FLOAT_FIELDS = ("forward_seconds", "gradient_seconds")
+    _FIELDS = _INT_FIELDS + _FLOAT_FIELDS
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {name: self.registry.counter(f"litho.{name}")
+                          for name in self._FIELDS}
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            value = counters[name].value
+            return int(value) if name in self._INT_FIELDS else value
+        raise AttributeError(name)
+
+    def record_forward(self, masks: int, seconds: float) -> None:
+        self._counters["forward_calls"].inc()
+        self._counters["forward_masks"].inc(masks)
+        self._counters["forward_seconds"].inc(seconds)
+
+    def record_gradient(self, masks: int, seconds: float) -> None:
+        self._counters["gradient_calls"].inc()
+        self._counters["gradient_masks"].inc(masks)
+        self._counters["gradient_seconds"].inc(seconds)
 
     def snapshot(self) -> Dict[str, float]:
         """Plain-dict copy (for telemetry deltas and assertions)."""
-        return asdict(self)
+        return {name: getattr(self, name) for name in self._FIELDS}
 
     def delta(self, previous: Dict[str, float]) -> Dict[str, float]:
         """Per-field difference against an earlier :meth:`snapshot`."""
@@ -83,8 +110,8 @@ class EngineStats:
         return {key: now[key] - previous.get(key, 0) for key in now}
 
     def reset(self) -> None:
-        for key, value in asdict(self).items():
-            setattr(self, key, type(value)())
+        for counter in self._counters.values():
+            counter.reset()
 
 
 def real_spectrum(masks: np.ndarray) -> np.ndarray:
@@ -177,7 +204,8 @@ class LithoEngine:
         bytes_per_sample = len(self._weights) * grid * grid * 16
         self._gradient_chunk = max(1, (8 << 20) // bytes_per_sample)
 
-        self.stats = EngineStats()
+        self.metrics = MetricsRegistry()
+        self.stats = EngineStats(self.metrics)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -224,7 +252,8 @@ class LithoEngine:
                           spectrum: Optional[np.ndarray] = None) -> np.ndarray:
         """Mask spectrum sliced to the kernel passband, ``(N, R, C)``."""
         if spectrum is None:
-            spectrum = real_spectrum(batch)
+            with trace.span("litho.spectrum", masks=batch.shape[0]):
+                spectrum = real_spectrum(batch)
         return np.ascontiguousarray(
             spectrum[:, self._rows[:, None], self._cols[None, :]])
 
@@ -238,14 +267,32 @@ class LithoEngine:
     def _forward(self, batch: np.ndarray, dose: float, keep_fields: bool,
                  spectrum: Optional[np.ndarray] = None
                  ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
-        """Fused aerial-intensity loop over kernels.
+        """Public forward pipeline: ``_forward_impl`` plus accounting.
+
+        Every execution bumps the ``forward_*`` stats and opens a
+        ``litho.forward`` span; the adjoint path calls
+        :meth:`_forward_impl` directly so its nested forward work is
+        attributed to ``gradient_*`` instead of being double-counted.
+        """
+        started = time.perf_counter()
+        with trace.span("litho.forward", masks=batch.shape[0]):
+            intensity, fields = self._forward_impl(batch, dose, keep_fields,
+                                                   spectrum)
+        self.stats.record_forward(batch.shape[0],
+                                  time.perf_counter() - started)
+        return intensity, fields
+
+    def _forward_impl(self, batch: np.ndarray, dose: float,
+                      keep_fields: bool,
+                      spectrum: Optional[np.ndarray] = None
+                      ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Fused aerial-intensity loop over kernels (no accounting).
 
         Returns ``(intensity, fields)`` with fields in ``(K, N, H, W)``
         layout (contiguous per kernel) or ``None`` when not requested.
         Looping keeps the per-kernel working set cache-resident; a
         single scratch buffer is reused when fields are discarded.
         """
-        started = time.perf_counter()
         compact = self._compact_spectrum(batch, spectrum)
         n, grid = batch.shape[0], self.grid
         num_kernels = len(self._weights)
@@ -262,9 +309,6 @@ class LithoEngine:
                                              field.imag ** 2)
         if dose != 1.0:
             intensity *= dose
-        self.stats.forward_calls += 1
-        self.stats.forward_masks += n
-        self.stats.forward_seconds += time.perf_counter() - started
         return intensity, fields
 
     def _fields(self, batch: np.ndarray,
@@ -364,26 +408,27 @@ class LithoEngine:
         targets = self._as_targets(target)
         if targets.ndim == 2:
             targets = np.broadcast_to(targets, batch.shape)
-        self.stats.gradient_calls += 1
-        self.stats.gradient_masks += batch.shape[0]
 
         # Samples are independent, so large batches are processed in
         # chunks sized to keep the per-chunk field tensor cache-resident
         # (~8 MB); past that point batching degrades on one core.
-        chunk = self._gradient_chunk
-        if batch.shape[0] > chunk:
-            errors = np.empty(batch.shape[0])
-            grads = np.empty(batch.shape)
-            for i in range(0, batch.shape[0], chunk):
-                errors[i:i + chunk], grads[i:i + chunk] = \
-                    self._gradient_chunk_wrt_mask(
-                        batch[i:i + chunk], targets[i:i + chunk],
-                        threshold, steepness, dose)
-            self.stats.gradient_seconds += time.perf_counter() - started
-            return errors, grads
-        errors, grads = self._gradient_chunk_wrt_mask(
-            batch, targets, threshold, steepness, dose)
-        self.stats.gradient_seconds += time.perf_counter() - started
+        with trace.span("litho.adjoint", masks=batch.shape[0]):
+            chunk = self._gradient_chunk
+            if batch.shape[0] > chunk:
+                errors = np.empty(batch.shape[0])
+                grads = np.empty(batch.shape)
+                for i in range(0, batch.shape[0], chunk):
+                    errors[i:i + chunk], grads[i:i + chunk] = \
+                        self._gradient_chunk_wrt_mask(
+                            batch[i:i + chunk], targets[i:i + chunk],
+                            threshold, steepness, dose)
+                self.stats.record_gradient(batch.shape[0],
+                                           time.perf_counter() - started)
+                return errors, grads
+            errors, grads = self._gradient_chunk_wrt_mask(
+                batch, targets, threshold, steepness, dose)
+        self.stats.record_gradient(batch.shape[0],
+                                   time.perf_counter() - started)
         if single:
             return float(errors[0]), grads[0]
         return errors, grads
@@ -391,7 +436,7 @@ class LithoEngine:
     def _gradient_chunk_wrt_mask(
             self, batch: np.ndarray, targets: np.ndarray, threshold: float,
             steepness: float, dose: float) -> Tuple[np.ndarray, np.ndarray]:
-        intensity, fields = self._forward(batch, dose, keep_fields=True)
+        intensity, fields = self._forward_impl(batch, dose, keep_fields=True)
         wafer = _stable_sigmoid(steepness * (intensity - threshold))
         diff = wafer - targets
         errors = np.sum(diff * diff, axis=(-2, -1))

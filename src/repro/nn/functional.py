@@ -14,9 +14,13 @@ time.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple, Union
 
 import numpy as np
+
+from repro.obs import profiler as _profiler
+from repro.obs.profiler import conv2d_flops, conv_transpose2d_flops
 
 from .tensor import Tensor
 
@@ -105,6 +109,8 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     if c != c_w:
         raise ValueError(f"input channels {c} != weight channels {c_w}")
 
+    prof = _profiler.ACTIVE
+    started = time.perf_counter() if prof is not None else 0.0
     cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*KH*KW, L)
     w_flat = weight.data.reshape(f, -1)               # (F, C*KH*KW)
     out = w_flat @ cols                               # (N, F, L)
@@ -126,6 +132,12 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             grads.append(grad.sum(axis=(0, 2, 3)))
         return tuple(grads)
 
+    if prof is not None:
+        prof.record("conv2d", time.perf_counter() - started,
+                    flops=conv2d_flops(n, c, f, oh, ow, kh, kw,
+                                       bias=bias is not None),
+                    nbytes=out.nbytes)
+        backward = prof.wrap_backward("conv2d", backward)
     return Tensor._make(out, parents, backward)
 
 
@@ -150,6 +162,8 @@ def conv_transpose2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     oh = (h - 1) * stride[0] - 2 * padding[0] + kh + output_padding[0]
     ow = (w - 1) * stride[1] - 2 * padding[1] + kw + output_padding[1]
 
+    prof = _profiler.ACTIVE
+    started = time.perf_counter() if prof is not None else 0.0
     w_flat = weight.data.reshape(c, f * kh * kw)               # (C, F*KH*KW)
     x_flat = x.data.reshape(n, c, h * w)                       # (N, C, L)
     cols = np.einsum("ck,ncl->nkl", w_flat, x_flat)            # (N, F*KH*KW, L)
@@ -168,6 +182,13 @@ def conv_transpose2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             grads.append(grad.sum(axis=(0, 2, 3)))
         return tuple(grads)
 
+    if prof is not None:
+        prof.record("deconv2d", time.perf_counter() - started,
+                    flops=conv_transpose2d_flops(n, c, h, w, f, kh, kw,
+                                                 oh=oh, ow=ow,
+                                                 bias=bias is not None),
+                    nbytes=out.nbytes)
+        backward = prof.wrap_backward("deconv2d", backward)
     return Tensor._make(out, parents, backward)
 
 

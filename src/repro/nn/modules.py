@@ -17,6 +17,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import profiler as _profiler
+
 from . import functional as F
 from . import init
 from .tensor import Tensor
@@ -120,7 +122,15 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs) -> Tensor:
-        return self.forward(*args, **kwargs)
+        prof = _profiler.ACTIVE
+        if prof is None:
+            return self.forward(*args, **kwargs)
+        name = type(self).__name__
+        prof.begin_module(name)
+        try:
+            return self.forward(*args, **kwargs)
+        finally:
+            prof.end_module(name)
 
 
 class Sequential(Module):

@@ -26,9 +26,13 @@ as plain numpy arrays in :attr:`Tensor.grad`.
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.obs import profiler as _profiler
+from repro.obs.profiler import matmul_flops
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
@@ -336,7 +340,15 @@ class Tensor:
             gb = np.swapaxes(a.data, -1, -2) @ grad
             return (_unbroadcast(ga, a.shape), _unbroadcast(gb, b.shape))
 
-        return Tensor._make(a.data @ b.data, (a, b), backward)
+        prof = _profiler.ACTIVE
+        started = time.perf_counter() if prof is not None else 0.0
+        out_data = a.data @ b.data
+        if prof is not None:
+            prof.record("matmul", time.perf_counter() - started,
+                        flops=matmul_flops(a.data.shape, b.data.shape),
+                        nbytes=out_data.nbytes)
+            backward = prof.wrap_backward("matmul", backward)
+        return Tensor._make(out_data, (a, b), backward)
 
     # ------------------------------------------------------------------
     # Comparisons (non-differentiable, return plain arrays)

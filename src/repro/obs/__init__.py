@@ -1,0 +1,42 @@
+"""repro.obs — observability layer: span tracer, autograd profiler,
+metrics registry.
+
+This package sits *below* the rest of ``repro`` in the import graph:
+it depends only on the standard library, so ``repro.nn``,
+``repro.litho``, ``repro.ilt`` and ``repro.core`` are free to import
+it for instrumentation without cycles.
+
+Three cooperating pieces (see DESIGN.md §9):
+
+* :mod:`repro.obs.trace` — hierarchical span tracer with Chrome
+  trace-event (Perfetto) and JSONL export;
+* :mod:`repro.obs.profiler` — per-op autograd profiler (wall time,
+  call counts, FLOPs, allocated bytes) for ``repro.nn``;
+* :mod:`repro.obs.registry` — counters / gauges / histograms backing
+  ``EngineStats`` and the per-phase training metrics.
+"""
+
+from repro.obs import profiler, trace
+from repro.obs.profiler import (Profiler, conv2d_flops,
+                                conv_transpose2d_flops, matmul_flops)
+from repro.obs.registry import (Counter, Gauge, Histogram,
+                                MetricsRegistry, default_registry)
+from repro.obs.trace import Span, Tracer, format_span_table, tracing
+
+__all__ = [
+    "trace",
+    "profiler",
+    "Tracer",
+    "Span",
+    "tracing",
+    "format_span_table",
+    "Profiler",
+    "conv2d_flops",
+    "conv_transpose2d_flops",
+    "matmul_flops",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+]

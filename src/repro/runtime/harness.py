@@ -31,6 +31,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.obs import trace
+
 from ..nn.modules import Module
 from ..nn.optim import Optimizer, clip_grad_norm_
 from .checkpoint import Checkpointer, capture_state, restore_state
@@ -195,6 +197,12 @@ class TrainingHarness:
         if self.checkpointer and self._last_saved_iteration != iteration:
             self._save(iteration, rng, history)
         if self.logger:
+            tracer = trace.active()
+            if tracer is not None and tracer.spans():
+                self.logger.span_summary(
+                    tracer.summary(),
+                    wall_seconds=tracer.wall_seconds(),
+                    coverage=tracer.coverage())
             self.logger.event(
                 "run_end", iteration=iteration,
                 seconds=time.perf_counter() - self._run_started,

@@ -102,6 +102,19 @@ def _check_type(name: str, value, type_name: str) -> None:
         if ok:
             for key, entry in value.items():
                 _check_type(f"{name}[{key!r}]", entry, "number")
+    elif type_name == "span_map":
+        ok = isinstance(value, dict)
+        if ok:
+            for key, entry in value.items():
+                if not isinstance(entry, dict) or set(entry) != {"count",
+                                                                 "seconds"}:
+                    raise TelemetrySchemaError(
+                        f"field {name}[{key!r}] must be an object with "
+                        f"exactly 'count' and 'seconds', got {entry!r}")
+                _check_type(f"{name}[{key!r}]['count']", entry["count"],
+                            "integer")
+                _check_type(f"{name}[{key!r}]['seconds']", entry["seconds"],
+                            "number")
     else:
         raise TelemetrySchemaError(
             f"schema references unknown type {type_name!r}")
@@ -178,6 +191,23 @@ class RunLogger:
         self._fh.write(json.dumps(record, sort_keys=True,
                                   allow_nan=False) + "\n")
         self._fh.flush()
+
+    def span_summary(self, spans: Dict[str, Dict[str, float]],
+                     wall_seconds: Optional[float] = None,
+                     coverage: Optional[float] = None,
+                     trace_file: Optional[str] = None) -> None:
+        """Record an aggregated tracer summary (``{name: {count, seconds}}``).
+
+        ``spans`` is exactly the shape :meth:`repro.obs.Tracer.summary`
+        returns; ``coverage`` is the fraction of wall time accounted
+        for by top-level spans and ``trace_file`` points at the Chrome
+        trace JSON sharing the run directory.
+        """
+        spans = {name: {"count": int(entry["count"]),
+                        "seconds": float(entry["seconds"])}
+                 for name, entry in spans.items()}
+        self.event("span_summary", spans=spans, wall_seconds=wall_seconds,
+                   coverage=coverage, trace_file=trace_file)
 
     def iteration(self, iteration: int, losses: Dict[str, float],
                   seconds: float,

@@ -73,6 +73,29 @@ class TestTable2:
         assert len(ratios) == 3
         assert table2.ratio("ILT") == (1.0, 1.0, 1.0)
 
+    def test_stage_seconds_per_clip(self, table2):
+        assert set(table2.stage_seconds) == {"ILT", "GAN-OPC", "PGAN-OPC"}
+        for method, stages in table2.stage_seconds.items():
+            assert len(stages) == 3
+            for entry in stages:
+                assert set(entry) == {"generation", "refinement"}
+        # ILT has no generator stage; the flows do.
+        assert all(s["generation"] == 0.0
+                   for s in table2.stage_seconds["ILT"])
+        assert all(s["generation"] > 0.0
+                   for s in table2.stage_seconds["PGAN-OPC"])
+
+    def test_stage_averages_consistent_with_runtime(self, table2):
+        for method in ("ILT", "GAN-OPC", "PGAN-OPC"):
+            stages = table2.stage_averages(method)
+            _, _, runtime = table2.averages(method)
+            total = stages["generation"] + stages["refinement"]
+            # Stage split covers (almost all of) the reported runtime;
+            # the ILT column times the optimize call from outside, so
+            # allow bookkeeping slack around the stage sum.
+            assert total <= runtime * 1.001
+            assert total >= runtime * 0.5
+
 
 class TestFigures:
     def test_figure8_gallery_rows(self, pipeline, table2):

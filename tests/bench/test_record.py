@@ -1,0 +1,76 @@
+"""Tests for the machine-readable benchmark record writer."""
+
+import json
+
+import pytest
+
+from repro.bench.record import (RECORD_SCHEMA_VERSION, BenchRecorder,
+                                load_record, measure)
+
+
+class TestMeasure:
+    def test_returns_best_of_positive_timing(self):
+        calls = []
+        seconds = measure(lambda: calls.append(1), repeats=3, warmup=2)
+        assert seconds >= 0.0
+        assert len(calls) == 5  # warmup + repeats
+
+
+class TestBenchRecorder:
+    def test_add_derives_throughput(self):
+        recorder = BenchRecorder("substrate")
+        entry = recorder.add("fwd/grid64/batch8", 0.5, grid=64, batch=8)
+        assert entry == {"seconds": 0.5, "grid": 64, "batch": 8,
+                         "throughput_per_second": 16.0}
+
+    def test_add_without_batch_has_no_throughput(self):
+        recorder = BenchRecorder("substrate")
+        entry = recorder.add("flow_generation/grid32", 0.25, grid=32,
+                             iterations=10)
+        assert entry == {"seconds": 0.25, "grid": 32, "iterations": 10.0}
+
+    def test_timeit_records_measured_entry(self):
+        recorder = BenchRecorder("substrate")
+        recorder.timeit("noop", lambda: None, batch=4, repeats=2)
+        entry = recorder.entries["noop"]
+        assert entry["seconds"] >= 0.0
+        assert entry["batch"] == 4
+
+    def test_write_round_trips_as_strict_json(self, tmp_path):
+        recorder = BenchRecorder("substrate")
+        recorder.add("b/grid64/batch1", 0.1, grid=64, batch=1)
+        recorder.add("a/grid64/batch1", 0.2, grid=64, batch=1)
+        path = recorder.write(str(tmp_path / "BENCH_test.json"))
+        record = load_record(path)
+        assert record["schema"] == RECORD_SCHEMA_VERSION
+        assert record["benchmark"] == "substrate"
+        assert list(record["entries"]) == ["a/grid64/batch1",
+                                           "b/grid64/batch1"]
+        assert "platform" in record["machine"]
+        # Strict JSON: re-parse with NaN literals rejected.
+        with open(path, "r", encoding="utf-8") as fh:
+            json.load(fh, parse_constant=lambda t: pytest.fail(
+                f"non-strict literal {t!r}"))
+
+    def test_write_is_atomic_replacement(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        first = BenchRecorder("substrate")
+        first.add("x", 1.0)
+        first.write(path)
+        second = BenchRecorder("substrate")
+        second.add("y", 2.0)
+        second.write(path)
+        record = load_record(path)
+        assert list(record["entries"]) == ["y"]
+
+    def test_checked_in_substrate_record_is_loadable(self):
+        import os
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        path = os.path.join(root, "BENCH_substrate.json")
+        record = load_record(path)
+        assert record["benchmark"] == "substrate"
+        assert any(name.startswith("engine_forward/")
+                   for name in record["entries"])
+        assert any(name.startswith("flow_generation/")
+                   for name in record["entries"])

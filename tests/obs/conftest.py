@@ -1,0 +1,20 @@
+"""Guard rails for the observability tests.
+
+Tracing and profiling install process-wide state; a test that leaks an
+active tracer or profiler would silently change the behavior (and
+timing) of every test that runs after it, so teardown always clears
+both globals.
+"""
+
+import pytest
+
+from repro.obs import profiler, trace
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability_state():
+    yield
+    while trace.is_enabled():
+        trace.disable()
+    while profiler.ACTIVE is not None:
+        profiler.disable()

@@ -1,0 +1,80 @@
+"""Disabled-instrumentation overhead guard (< 5%).
+
+The acceptance bar is deterministic rather than a noisy A/B run: we
+measure the marginal cost of one *disabled* instrumentation point (the
+``trace.span`` global-None check plus the shared null context manager)
+and compare the per-forward instrumentation budget against the engine
+forward time itself.  An engine forward opens two spans
+(``litho.forward`` + ``litho.spectrum``) and reads the profiler global
+zero times (the engine is not a tensor op), so its disabled overhead
+is two null spans plus two stats counter bumps.
+"""
+
+import time
+
+import numpy as np
+
+from repro.litho import LithoEngine
+from repro.obs import profiler, trace
+
+# Spans opened by one engine.aerial call while tracing is disabled.
+SPANS_PER_FORWARD = 2
+
+
+def _best_of(fn, repeats=7):
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _disabled_span_cost(iterations=20000):
+    assert not trace.is_enabled()
+
+    def loop():
+        for _ in range(iterations):
+            with trace.span("overhead-probe"):
+                pass
+
+    return _best_of(loop, repeats=5) / iterations
+
+
+def test_disabled_span_cost_is_below_5pct_of_engine_forward(kernels64):
+    engine = LithoEngine.for_kernels(kernels64)
+    mask = np.zeros((64, 64))
+    mask[16:48, 16:48] = 1.0
+
+    per_span = _disabled_span_cost()
+    forward = _best_of(lambda: engine.aerial(mask))
+
+    overhead = SPANS_PER_FORWARD * per_span
+    assert overhead < 0.05 * forward, (
+        f"disabled instrumentation costs {overhead * 1e6:.2f} us per "
+        f"forward vs forward time {forward * 1e6:.2f} us "
+        f"({100.0 * overhead / forward:.2f}%)")
+
+
+def test_disabled_profiler_check_is_below_5pct_of_matmul():
+    """The per-op profiler guard is a single global read."""
+    assert profiler.ACTIVE is None
+    a = np.random.default_rng(0).random((64, 64))
+
+    iterations = 20000
+
+    def guard_loop():
+        for _ in range(iterations):
+            if profiler.ACTIVE is not None:  # pragma: no cover
+                raise AssertionError
+    per_check = _best_of(guard_loop, repeats=5) / iterations
+
+    matmul = _best_of(lambda: a @ a)
+    assert per_check < 0.05 * matmul
+
+
+def test_null_span_allocates_nothing():
+    first = trace.span("a")
+    second = trace.span("b", key=1)
+    assert first is second is trace._NULL_SPAN

@@ -1,0 +1,146 @@
+"""Metrics registry tests, including the EngineStats facade."""
+
+import numpy as np
+
+from repro.litho import LithoEngine
+from repro.litho.engine import EngineStats
+from repro.obs.registry import (Counter, Gauge, Histogram, MetricsRegistry,
+                                default_registry)
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestGauge:
+    def test_set_keeps_last_value(self):
+        gauge = Gauge("g")
+        gauge.set(4)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+        gauge.reset()
+        assert gauge.value == 0.0
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        hist = Histogram("h")
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary == {"count": 3, "sum": 6.0, "mean": 2.0,
+                           "min": 1.0, "max": 3.0}
+        assert hist.mean == 2.0
+
+    def test_empty_summary_is_finite(self):
+        assert Histogram("h").summary() == {
+            "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+
+    def test_values_kept_only_on_request(self):
+        plain = Histogram("p")
+        plain.observe(1.0)
+        assert plain.values() == []
+        keeping = Histogram("k", keep_values=True)
+        keeping.observe(1.0)
+        keeping.observe(2.0)
+        assert keeping.values() == [1.0, 2.0]
+
+    def test_reset_clears_everything(self):
+        hist = Histogram("h", keep_values=True)
+        hist.observe(5.0)
+        hist.reset()
+        assert hist.summary()["count"] == 0
+        assert hist.values() == []
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(2)
+        registry.gauge("lr").set(0.1)
+        registry.histogram("err").observe(7.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"calls": 2.0}
+        assert snap["gauges"] == {"lr": 0.1}
+        assert snap["histograms"]["err"]["count"] == 1
+
+    def test_reset_resets_all_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc()
+        registry.histogram("err").observe(1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["counters"]["calls"] == 0.0
+        assert snap["histograms"]["err"]["count"] == 0
+
+    def test_default_registry_is_a_singleton(self):
+        assert default_registry() is default_registry()
+
+
+class TestEngineStatsFacade:
+    def test_attributes_are_typed_registry_reads(self):
+        stats = EngineStats()
+        stats.record_forward(8, 0.5)
+        stats.record_forward(2, 0.25)
+        stats.record_gradient(4, 1.0)
+        assert stats.forward_calls == 2
+        assert isinstance(stats.forward_calls, int)
+        assert stats.forward_masks == 10
+        assert stats.forward_seconds == 0.75
+        assert stats.gradient_calls == 1
+        assert stats.gradient_masks == 4
+
+    def test_counters_live_in_the_registry(self):
+        registry = MetricsRegistry()
+        stats = EngineStats(registry)
+        stats.record_forward(3, 0.1)
+        assert registry.counter("litho.forward_calls").value == 1.0
+        assert registry.counter("litho.forward_masks").value == 3.0
+
+    def test_snapshot_delta_reset_api(self):
+        stats = EngineStats()
+        stats.record_forward(1, 0.1)
+        before = stats.snapshot()
+        stats.record_gradient(2, 0.2)
+        delta = stats.delta(before)
+        assert delta["forward_calls"] == 0
+        assert delta["gradient_calls"] == 1
+        assert delta["gradient_masks"] == 2
+        stats.reset()
+        assert stats.snapshot() == {
+            "forward_calls": 0, "forward_masks": 0, "forward_seconds": 0.0,
+            "gradient_calls": 0, "gradient_masks": 0,
+            "gradient_seconds": 0.0}
+
+    def test_unknown_attribute_raises(self):
+        stats = EngineStats()
+        try:
+            stats.no_such_field
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected AttributeError")
+
+    def test_engine_owns_registry_backed_stats(self, kernels32):
+        engine = LithoEngine.for_kernels(kernels32)
+        assert engine.stats.registry is engine.metrics
+        mask = np.zeros((32, 32))
+        mask[8:24, 8:24] = 1.0
+        before = engine.stats.snapshot()
+        engine.aerial(mask)
+        delta = engine.stats.delta(before)
+        assert delta["forward_calls"] == 1
+        assert delta["forward_masks"] == 1
+        assert engine.metrics.counter("litho.forward_calls").value >= 1.0

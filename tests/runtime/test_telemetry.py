@@ -107,6 +107,87 @@ class TestValidateRecord:
         logger.close()
 
 
+class TestSpanSummary:
+    def _record(self, **extra):
+        record = {"schema": SCHEMA_VERSION, "event": "span_summary",
+                  "phase": "flow", "ts": 1.0,
+                  "spans": {"ilt.step": {"count": 3, "seconds": 0.5}}}
+        record.update(extra)
+        return record
+
+    def test_valid_record_passes(self):
+        validate_record(self._record())
+        validate_record(self._record(wall_seconds=1.0, coverage=0.93,
+                                     trace_file="trace.json"))
+
+    @pytest.mark.parametrize("spans", [
+        {"s": {"count": 3}},                              # missing seconds
+        {"s": {"count": 3, "seconds": 0.5, "extra": 1}},  # stray key
+        {"s": {"count": 1.5, "seconds": 0.5}},            # non-int count
+        {"s": {"count": 1, "seconds": "nan"}},            # non-finite
+        {"s": 0.5},                                       # not an object
+    ])
+    def test_malformed_span_map_rejected(self, spans):
+        with pytest.raises(TelemetrySchemaError):
+            validate_record(self._record(spans=spans))
+
+    def test_logger_helper_coerces_and_round_trips(self, tmp_path):
+        from repro.obs import trace
+
+        path = str(tmp_path / "t.jsonl")
+        with trace.tracing() as tracer:
+            with tracer.span("work"):
+                pass
+        with RunLogger(path, "flow") as logger:
+            logger.span_summary(tracer.summary(),
+                                wall_seconds=tracer.wall_seconds(),
+                                coverage=tracer.coverage(),
+                                trace_file="trace.json")
+        (record,) = _read_records(path)
+        validate_record(record)
+        assert record["spans"]["work"]["count"] == 1
+        assert isinstance(record["spans"]["work"]["count"], int)
+        assert record["trace_file"] == "trace.json"
+
+    def test_harness_emits_span_summary_when_tracing(self, litho32,
+                                                     kernels32, dataset,
+                                                     tmp_path):
+        from repro.obs import trace
+
+        config = GanOpcConfig(grid=32, generator_channels=(4, 8),
+                              discriminator_channels=(4, 8), batch_size=2,
+                              seed=7)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(1))
+        pre = ILTGuidedPretrainer(generator, litho32, config,
+                                  kernels=kernels32)
+        with trace.tracing():
+            pre.train(dataset, 2,
+                      runtime=RunConfig(telemetry_dir=str(tmp_path)))
+        records = _read_records(os.path.join(str(tmp_path),
+                                             "pretrain.jsonl"))
+        summaries = [r for r in records if r["event"] == "span_summary"]
+        assert len(summaries) == 1
+        spans = summaries[0]["spans"]
+        assert "pretrain.step" in spans
+        assert spans["pretrain.step"]["count"] == 2
+        assert "litho.adjoint" in spans
+
+    def test_no_span_summary_without_tracer(self, litho32, kernels32,
+                                            dataset, tmp_path):
+        config = GanOpcConfig(grid=32, generator_channels=(4, 8),
+                              discriminator_channels=(4, 8), batch_size=2,
+                              seed=7)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(1))
+        pre = ILTGuidedPretrainer(generator, litho32, config,
+                                  kernels=kernels32)
+        pre.train(dataset, 1, runtime=RunConfig(telemetry_dir=str(tmp_path)))
+        records = _read_records(os.path.join(str(tmp_path),
+                                             "pretrain.jsonl"))
+        assert all(r["event"] != "span_summary" for r in records)
+
+
 class TestScriptedRun:
     ITERATIONS = 3
 

@@ -136,6 +136,95 @@ class TestFlow:
         assert os.path.exists(out)
 
 
+class TestProfile:
+    def test_profiles_flow_and_writes_traces(self, tmp_path, capsys):
+        import json
+
+        trace_dir = str(tmp_path / "prof")
+        assert main(["profile", "--grid", "32", "--iterations", "5",
+                     "--trace-dir", trace_dir]) == 0
+        out = capsys.readouterr().out
+        # Span table, op table and module table all render.
+        assert "profile.flow" in out
+        assert "conv2d" in out
+        assert "Conv2d" in out
+        assert "top-level spans cover" in out
+
+        with open(os.path.join(trace_dir, "trace.json")) as fh:
+            chrome = json.load(fh)
+        assert chrome["displayTimeUnit"] == "ms"
+        names = {event["name"] for event in chrome["traceEvents"]}
+        assert {"profile.setup", "profile.flow", "flow.generate",
+                "flow.refine"} <= names
+        for event in chrome["traceEvents"]:
+            assert event["ph"] == "X"
+
+        with open(os.path.join(trace_dir, "spans.jsonl")) as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        assert len(lines) == len(chrome["traceEvents"])
+
+    def test_restores_global_observability_state(self, tmp_path, capsys):
+        from repro.obs import profiler, trace
+        assert main(["profile", "--grid", "32", "--iterations", "3",
+                     "--trace-dir", str(tmp_path / "p")]) == 0
+        capsys.readouterr()
+        assert trace.active() is None
+        assert profiler.ACTIVE is None
+
+    def test_profile_with_clip_and_checkpoint(self, clip_file, tmp_path,
+                                              capsys):
+        config = GanOpcConfig.small(64)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(0))
+        ckpt = str(tmp_path / "gen.npz")
+        nn.save_state(generator, ckpt)
+        assert main(["profile", "--clip", clip_file, "--checkpoint", ckpt,
+                     "--grid", "64", "--iterations", "3",
+                     "--trace-dir", str(tmp_path / "prof")]) == 0
+        assert "flow: generation" in capsys.readouterr().out
+
+
+class TestTraceDir:
+    def test_train_trace_dir_writes_chrome_trace_and_span_summary(
+            self, tmp_path, capsys):
+        import json
+
+        trace_dir = str(tmp_path / "traces")
+        assert main(["train", "--phase", "pretrain", "--grid", "32",
+                     "--iterations", "2", "--dataset-size", "2",
+                     "--batch-size", "2", "--seed", "11",
+                     "--telemetry-dir", str(tmp_path / "telemetry"),
+                     "--trace-dir", trace_dir]) == 0
+        capsys.readouterr()
+        with open(os.path.join(trace_dir, "train-trace.json")) as fh:
+            chrome = json.load(fh)
+        names = {event["name"] for event in chrome["traceEvents"]}
+        assert "pretrain.step" in names
+
+        from repro.runtime import validate_record
+        telemetry = str(tmp_path / "telemetry" / "pretrain.jsonl")
+        records = [json.loads(line) for line in open(telemetry)]
+        summaries = [r for r in records if r["event"] == "span_summary"]
+        assert len(summaries) == 1
+        validate_record(summaries[0])
+        assert summaries[0]["spans"]["pretrain.step"]["count"] == 2
+
+    def test_flow_trace_dir(self, clip_file, tmp_path, capsys):
+        config = GanOpcConfig.small(64)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(0))
+        ckpt = str(tmp_path / "gen.npz")
+        nn.save_state(generator, ckpt)
+        trace_dir = str(tmp_path / "traces")
+        assert main(["flow", clip_file, ckpt, "--grid", "64",
+                     "--iterations", "5",
+                     "--out", str(tmp_path / "mask.pgm"),
+                     "--trace-dir", trace_dir]) == 0
+        capsys.readouterr()
+        assert os.path.exists(os.path.join(trace_dir, "flow-trace.json"))
+        assert os.path.exists(os.path.join(trace_dir, "flow-spans.jsonl"))
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
