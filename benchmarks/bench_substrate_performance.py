@@ -7,13 +7,17 @@ CPU scale a user can push):
 * aerial-image simulation (Eq. 2) per grid size,
 * one ILT gradient step (Eq. 14),
 * the unified engine's forward and adjoint throughput, batch 1 vs 8,
+* f32 vs f64 engine throughput (the precision fast path),
+* serial vs multiprocess per-clip ILT (the ``repro.parallel`` layer),
 * one generator forward pass,
 * one full Algorithm 1 training iteration.
 
-The engine benchmarks also pin the refactor's headline claim: a single
+The engine benchmarks also pin the perf-work acceptance bars: a single
 batched :class:`LithoEngine` gradient call must be at least twice as
 fast as looping the pre-refactor single-image implementation over the
-same batch (64 px, batch 8).
+same batch (64 px, batch 8); the f32 engine forward must be at least
+1.3x the f64 forward; and on machines with >= 4 cores, parallel
+per-clip ILT must be at least 2x the serial loop.
 """
 
 from __future__ import annotations
@@ -157,6 +161,58 @@ def test_batched_gradient_at_least_2x_per_sample_loop():
                                    rtol=1e-10, atol=1e-10)
 
 
+def test_f32_forward_at_least_1p3x_f64():
+    """Precision fast path acceptance bar: the f32 engine forward must
+    be at least 1.3x the f64 forward (64 px, batch 8)."""
+    from repro.bench.record import measure
+
+    grid, batch = 64, 8
+    kernels = build_kernels(LithoConfig.small(grid))
+    engine64 = LithoEngine.for_kernels(kernels, precision="f64")
+    engine32 = LithoEngine.for_kernels(kernels, precision="f32")
+    masks = _mask_batch(grid, batch)
+
+    t64 = measure(lambda: engine64.aerial(masks), repeats=7)
+    t32 = measure(lambda: engine32.aerial(masks), repeats=7)
+    speedup = t64 / t32
+    print(f"\nf64 forward {t64 * 1e3:.1f} ms vs f32 "
+          f"{t32 * 1e3:.1f} ms -> {speedup:.2f}x")
+    assert speedup >= 1.3
+
+
+def test_parallel_ilt_at_least_2x_serial():
+    """Parallel layer acceptance bar: per-clip ILT fanned across 4
+    workers must be at least 2x the serial loop.  Only meaningful with
+    real cores to fan across, so skipped below 4."""
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"needs >= 4 cores to assert scaling, have {cores}")
+    from repro.bench.record import measure
+    from repro.parallel import WorkerPool, parallel_ilt
+
+    grid, batch, workers = 32, 8, 4
+    config = LithoConfig.small(grid)
+    ilt_config = ILTConfig(max_iterations=25)
+    rng = np.random.default_rng(3)
+    targets = (rng.random((batch, grid, grid)) > 0.75).astype(float)
+
+    with WorkerPool(workers, litho_config=config) as pool:
+        # Warm the pool outside the timed region: worker startup and
+        # kernel loading are one-time costs an experiment amortizes
+        # over thousands of clips.
+        parallel_ilt(targets[:workers], config, ilt_config, pool=pool)
+        t_parallel = measure(
+            lambda: parallel_ilt(targets, config, ilt_config, pool=pool),
+            repeats=3)
+    t_serial = measure(
+        lambda: parallel_ilt(targets, config, ilt_config, workers=1),
+        repeats=3)
+    speedup = t_serial / t_parallel
+    print(f"\nserial ILT {t_serial:.2f} s vs {workers} workers "
+          f"{t_parallel:.2f} s -> {speedup:.2f}x")
+    assert speedup >= 2.0
+
+
 def test_write_bench_substrate_record():
     """Persist the substrate numbers as ``BENCH_substrate.json``.
 
@@ -167,7 +223,9 @@ def test_write_bench_substrate_record():
     recorder = BenchRecorder("substrate")
 
     grid = 64
-    engine = LithoEngine.for_kernels(build_kernels(LithoConfig.small(grid)))
+    kernels = build_kernels(LithoConfig.small(grid))
+    engine = LithoEngine.for_kernels(kernels, precision="f64")
+    engine32 = LithoEngine.for_kernels(kernels, precision="f32")
     for batch in (1, 8):
         masks = _mask_batch(grid, batch)
         targets = _target_batch(grid, batch)
@@ -178,6 +236,40 @@ def test_write_bench_substrate_record():
             f"engine_gradient/grid{grid}/batch{batch}",
             lambda: engine.error_and_gradient_wrt_mask(masks, targets),
             grid=grid, batch=batch)
+        recorder.timeit(f"engine_forward_f32/grid{grid}/batch{batch}",
+                        lambda: engine32.aerial(masks),
+                        grid=grid, batch=batch)
+        recorder.timeit(
+            f"engine_gradient_f32/grid{grid}/batch{batch}",
+            lambda: engine32.error_and_gradient_wrt_mask(masks, targets),
+            grid=grid, batch=batch)
+
+    # Serial vs multiprocess per-clip ILT.  The parallel entry is only
+    # recorded when there are real cores to fan across, so the checked-in
+    # record stays comparable across machines.
+    from repro.parallel import WorkerPool, parallel_ilt
+
+    ilt_grid, ilt_batch = 32, 4
+    ilt_litho = LithoConfig.small(ilt_grid)
+    ilt_config = ILTConfig(max_iterations=20)
+    rng = np.random.default_rng(3)
+    ilt_targets = (rng.random((ilt_batch, ilt_grid, ilt_grid))
+                   > 0.75).astype(float)
+    recorder.timeit(
+        f"serial_ilt/grid{ilt_grid}/batch{ilt_batch}",
+        lambda: parallel_ilt(ilt_targets, ilt_litho, ilt_config, workers=1),
+        grid=ilt_grid, batch=ilt_batch, repeats=3)
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        workers = 4
+        with WorkerPool(workers, litho_config=ilt_litho) as pool:
+            parallel_ilt(ilt_targets, ilt_litho, ilt_config, pool=pool)
+            recorder.timeit(
+                f"parallel_ilt/grid{ilt_grid}/batch{ilt_batch}"
+                f"/workers{workers}",
+                lambda: parallel_ilt(ilt_targets, ilt_litho, ilt_config,
+                                     pool=pool),
+                grid=ilt_grid, batch=ilt_batch, repeats=3)
 
     # Per-stage breakdown of the end-to-end flow: generator inference
     # vs ILT refinement (the split behind Table 2's runtime column).
@@ -204,6 +296,8 @@ def test_write_bench_substrate_record():
     entries = record["entries"]
     assert f"engine_forward/grid{grid}/batch8" in entries
     assert f"engine_gradient/grid{grid}/batch1" in entries
+    assert f"engine_forward_f32/grid{grid}/batch8" in entries
+    assert f"serial_ilt/grid{ilt_grid}/batch{ilt_batch}" in entries
     assert f"flow_generation/grid{flow_grid}" in entries
     for name, entry in entries.items():
         assert entry["seconds"] >= 0.0, name

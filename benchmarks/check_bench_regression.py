@@ -1,0 +1,92 @@
+"""Compare a freshly measured ``BENCH_*.json`` against the committed baseline.
+
+CI regenerates the substrate record on the runner and calls this script
+to fail the build when any entry's ``throughput_per_second`` dropped by
+more than ``--threshold`` (default 30%) versus the committed file.
+Entries are compared only where both records have them (a new machine
+may legitimately skip e.g. the multi-core parallel entry), and entries
+whose name matches ``--skip`` substrings are ignored — raw wall-clock
+on shared CI runners is noisy, so the threshold is deliberately loose:
+it catches "this PR halved the engine", not single-digit jitter.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_substrate.json --candidate /tmp/BENCH_substrate.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+
+def load_entries(path: str) -> Dict[str, dict]:
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    if record.get("schema") != 1:
+        raise SystemExit(f"{path}: unsupported schema {record.get('schema')}")
+    return record["entries"]
+
+
+def compare(baseline: Dict[str, dict], candidate: Dict[str, dict],
+            threshold: float, skip: List[str]
+            ) -> Tuple[List[str], List[str]]:
+    """Return (report lines, regression lines)."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    shared = sorted(set(baseline) & set(candidate))
+    for name in shared:
+        if any(token in name for token in skip):
+            continue
+        base = baseline[name].get("throughput_per_second")
+        cand = candidate[name].get("throughput_per_second")
+        if not base or not cand:
+            continue
+        ratio = cand / base
+        status = "ok"
+        if ratio < 1.0 - threshold:
+            status = "REGRESSION"
+            regressions.append(name)
+        lines.append(f"  {name:45s} {base:10.2f} -> {cand:10.2f} /s "
+                     f"({ratio:6.2f}x)  {status}")
+    only_base = sorted(set(baseline) - set(candidate))
+    for name in only_base:
+        lines.append(f"  {name:45s} (baseline only, skipped)")
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly measured BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="maximum tolerated fractional throughput drop "
+                             "(default 0.30)")
+    parser.add_argument("--skip", action="append", default=[],
+                        help="substring of entry names to ignore "
+                             "(repeatable)")
+    args = parser.parse_args(argv)
+
+    baseline = load_entries(args.baseline)
+    candidate = load_entries(args.candidate)
+    lines, regressions = compare(baseline, candidate, args.threshold,
+                                 args.skip)
+    print(f"throughput vs baseline (threshold: -{args.threshold:.0%}):")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} entr"
+              f"{'y' if len(regressions) == 1 else 'ies'} regressed by more "
+              f"than {args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print("\nno throughput regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,11 +107,14 @@ class Pipeline:
     simulator: LithoSimulator
 
     @staticmethod
-    def build(config: Optional[ExperimentConfig] = None) -> "Pipeline":
+    def build(config: Optional[ExperimentConfig] = None,
+              precision: Optional[str] = None) -> "Pipeline":
+        """Build the shared state; ``precision`` selects the engine's
+        compute dtype (``"f32"``/``"f64"``, default environment)."""
         config = config or ExperimentConfig()
         litho = LithoConfig.small(config.grid)
         kernels = build_kernels(litho)
-        engine = LithoEngine.for_kernels(kernels)
+        engine = LithoEngine.for_kernels(kernels, precision=precision)
         dataset = SyntheticDataset(litho, size=config.dataset_size,
                                    seed=config.seed, kernels=kernels)
         return Pipeline(config=config, litho=litho, kernels=kernels,
@@ -212,10 +215,19 @@ class Table2Result:
 
 
 def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
-               clips: Optional[List[BenchmarkClip]] = None) -> Table2Result:
-    """ILT [7] vs GAN-OPC vs PGAN-OPC on the substitute suite."""
+               clips: Optional[List[BenchmarkClip]] = None,
+               workers: int = 1) -> Table2Result:
+    """ILT [7] vs GAN-OPC vs PGAN-OPC on the substitute suite.
+
+    ``workers > 1`` evaluates one clip (all three methods) per worker
+    process: generator weights are broadcast once per worker, result
+    masks come back through shared memory, and per-clip results are
+    identical to the serial loop in float64.
+    """
     cfg = pipeline.config
     clips = clips or iccad13_suite(pipeline.litho)
+    if workers > 1:
+        return _run_table2_parallel(pipeline, generators, clips, workers)
 
     ilt = ILTOptimizer(pipeline.litho,
                        ILTConfig(max_iterations=cfg.ilt_iterations),
@@ -258,6 +270,51 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
             stage_seconds[method].append(
                 {"generation": flow_result.generation_seconds,
                  "refinement": flow_result.refinement_seconds})
+
+    result = Table2Result(columns=columns, masks=masks, clips=clips,
+                          stage_seconds=stage_seconds)
+    result.table = comparison_table(columns, baseline="ILT")
+    return result
+
+
+def _run_table2_parallel(pipeline: Pipeline, generators: TrainedGenerators,
+                         clips: List[BenchmarkClip],
+                         workers: int) -> Table2Result:
+    """Clip-parallel Table 2: one task evaluates all methods on a clip."""
+    from ..parallel.flow import _table2_clip_task, generator_payload
+    from ..parallel.pool import WorkerPool
+    from ..parallel.shm import SharedArray
+
+    cfg = pipeline.config
+    methods = ("ILT", "GAN-OPC", "PGAN-OPC")
+    state = {"clips": clips,
+             "GAN-OPC": generator_payload(generators.gan),
+             "PGAN-OPC": generator_payload(generators.pgan)}
+    shared_masks = SharedArray.create((len(methods), len(clips),
+                                       cfg.grid, cfg.grid), np.float64)
+    try:
+        with WorkerPool(workers, litho_config=pipeline.litho,
+                        precision=pipeline.engine.precision,
+                        state=state) as pool:
+            reports = pool.map(
+                _table2_clip_task,
+                [(slot, shared_masks.spec, cfg.grid, pipeline.litho,
+                  cfg.ilt_iterations, cfg.refine_iterations)
+                 for slot in range(len(clips))],
+                label="parallel.table2")
+        all_masks = np.array(shared_masks.array, copy=True)
+    finally:
+        shared_masks.close()
+        shared_masks.unlink()
+
+    columns = {m: [None] * len(clips) for m in methods}
+    masks = {m: [None] * len(clips) for m in methods}
+    stage_seconds = {m: [None] * len(clips) for m in methods}
+    for slot, evaluations, stages in reports:
+        for method_index, method in enumerate(methods):
+            columns[method][slot] = evaluations[method]
+            masks[method][slot] = all_masks[method_index, slot]
+            stage_seconds[method][slot] = stages[method]
 
     result = Table2Result(columns=columns, masks=masks, clips=clips,
                           stage_seconds=stage_seconds)

@@ -57,15 +57,17 @@ def _litho(args):
     return LithoConfig.small(args.grid)
 
 
-def _engine(litho):
+def _engine(litho, precision=None):
     """One shared engine per CLI invocation.
 
     Kernel construction goes through the two-level ``build_kernels``
     cache (in-process + on-disk), so repeated CLI runs at the same
-    settings skip the eigendecomposition entirely.
+    settings skip the eigendecomposition entirely.  ``precision``
+    selects the compute dtype (``f32``/``f64``; default environment).
     """
     from .litho import LithoEngine, build_kernels
-    return LithoEngine.for_kernels(build_kernels(litho))
+    return LithoEngine.for_kernels(build_kernels(litho),
+                                   precision=precision)
 
 
 def _load_target(path: str, grid: int):
@@ -107,7 +109,8 @@ def cmd_simulate(args) -> int:
             return 2
     else:
         mask = target
-    simulator = LithoSimulator(litho, engine=_engine(litho))
+    simulator = LithoSimulator(
+        litho, engine=_engine(litho, args.precision))
     evaluation = evaluate_mask(simulator, mask, target, layout=layout,
                                name=layout.name or "clip")
     for key, value in evaluation.as_dict().items():
@@ -125,7 +128,7 @@ def cmd_ilt(args) -> int:
     from .metrics import evaluate_mask
 
     litho = _litho(args)
-    engine = _engine(litho)
+    engine = _engine(litho, args.precision)
     layout, target = _load_target(args.clip, litho.grid)
     optimizer = ILTOptimizer(litho, ILTConfig(max_iterations=args.iterations),
                              engine=engine)
@@ -169,7 +172,7 @@ def cmd_train(args) -> int:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
     litho = _litho(args)
-    engine = _engine(litho)
+    engine = _engine(litho, args.precision)
     config = replace(GanOpcConfig.small(litho.grid),
                      batch_size=args.batch_size, seed=args.seed)
     dataset = SyntheticDataset(litho, size=args.dataset_size,
@@ -178,6 +181,13 @@ def cmd_train(args) -> int:
                               rng=np.random.default_rng(args.seed))
     if args.init:
         nn.load_state(generator, args.init)
+    if engine.precision == "f32":
+        nn.to_dtype(generator, np.float32)
+    if args.workers > 1 and args.phase in ("gan", "both"):
+        # Reference masks are the serial bottleneck of GAN training;
+        # build them up front across worker processes.
+        print(f"building reference masks with {args.workers} workers ...")
+        dataset.precompute(workers=args.workers)
 
     def runtime(phase: str) -> RunConfig:
         checkpoint_dir = (os.path.join(args.checkpoint_dir, phase)
@@ -231,7 +241,7 @@ def cmd_flow(args) -> int:
     from .runtime import RunLogger
 
     litho = _litho(args)
-    engine = _engine(litho)
+    engine = _engine(litho, args.precision)
     layout, target = _load_target(args.clip, litho.grid)
     config = GanOpcConfig.small(litho.grid)
     generator = MaskGenerator(config.generator_channels,
@@ -289,7 +299,7 @@ def cmd_profile(args) -> int:
     try:
         with trace.span("profile.setup"):
             litho = _litho(args)
-            engine = _engine(litho)
+            engine = _engine(litho, args.precision)
             if args.clip:
                 _, target = _load_target(args.clip, litho.grid)
             else:
@@ -312,6 +322,19 @@ def cmd_profile(args) -> int:
                 engine=engine)
         with trace.span("profile.flow"):
             result = flow.optimize(target)
+        pool_stats = None
+        if args.workers > 1:
+            # Fan a small per-clip ILT batch across the pool so the
+            # profile shows per-worker utilization alongside the
+            # single-process tables.
+            from .parallel import parallel_ilt
+            with trace.span("profile.parallel", workers=args.workers):
+                batch = np.stack([target] * (2 * args.workers))
+                parallel_result = parallel_ilt(
+                    batch, litho,
+                    ILTConfig(max_iterations=args.iterations, patience=4),
+                    workers=args.workers, precision=args.precision)
+                pool_stats = parallel_result.pool_stats
     finally:
         wall = time.perf_counter() - wall_started
         profiler.disable()
@@ -332,6 +355,9 @@ def cmd_profile(args) -> int:
           f"({result.ilt_result.iterations} steps), l2 {result.l2:.1f}")
     print(f"wall {wall:.3f}s; top-level spans cover "
           f"{100.0 * coverage:.1f}% of wall")
+    if pool_stats is not None:
+        print()
+        print(pool_stats.format_table())
     print(f"chrome trace written to {chrome_path} "
           f"(load in https://ui.perfetto.dev)")
     print(f"span stream written to {spans_path}")
@@ -344,11 +370,13 @@ def cmd_table2(args) -> int:
     config = {"quick": ExperimentConfig.quick,
               "medium": ExperimentConfig.medium,
               "full": ExperimentConfig}[args.scale]()
-    pipeline = Pipeline.build(config)
+    pipeline = Pipeline.build(config, precision=args.precision)
     print(f"training generators at scale {args.scale!r} "
           f"(grid {config.grid}px) ...")
+    if args.workers > 1:
+        pipeline.dataset.precompute(workers=args.workers)
     generators = train_generators(pipeline, verbose=args.verbose)
-    result = run_table2(pipeline, generators)
+    result = run_table2(pipeline, generators, workers=args.workers)
     print(result.table)
     print("per-stage runtime (mean seconds per clip):")
     for method in ("ILT", "GAN-OPC", "PGAN-OPC"):
@@ -359,6 +387,18 @@ def cmd_table2(args) -> int:
 
 
 # ----------------------------------------------------------------------
+def _add_precision(p) -> None:
+    p.add_argument("--precision", choices=("f32", "f64"), default=None,
+                   help="engine compute precision (default: "
+                        "REPRO_PRECISION env or f64)")
+
+
+def _add_workers(p) -> None:
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for parallelizable stages "
+                        "(default: 1, serial)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -377,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mask", help="mask image (.pgm); default: the target")
     p.add_argument("--grid", type=int, default=128)
     p.add_argument("--out", help="write the wafer image here (.pgm)")
+    _add_precision(p)
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("ilt", help="ILT mask optimization for a clip")
@@ -384,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", type=int, default=128)
     p.add_argument("--iterations", type=int, default=150)
     p.add_argument("--out", default="mask.pgm")
+    _add_precision(p)
     p.set_defaults(func=cmd_ilt)
 
     p = sub.add_parser("sraf", help="insert assist features into a clip")
@@ -426,6 +468,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="capture span traces (Chrome trace JSON + JSONL "
                         "stream) under this directory")
     p.add_argument("--verbose", action="store_true")
+    _add_precision(p)
+    _add_workers(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("flow", help="GAN-OPC flow with a trained generator")
@@ -439,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="capture span traces (Chrome trace JSON + JSONL "
                         "stream) under this directory")
     p.add_argument("--out", default="mask.pgm")
+    _add_precision(p)
     p.set_defaults(func=cmd_flow)
 
     p = sub.add_parser(
@@ -454,12 +499,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--trace-dir", default="profile-trace",
                    help="output directory for trace.json and spans.jsonl")
+    _add_precision(p)
+    _add_workers(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("table2", help="run the Table 2 experiment")
     p.add_argument("--scale", choices=("quick", "medium", "full"),
                    default="medium")
     p.add_argument("--verbose", action="store_true")
+    _add_precision(p)
+    _add_workers(p)
     p.set_defaults(func=cmd_table2)
 
     return parser

@@ -122,8 +122,12 @@ class MaskGenerator(nn.Module):
         was_training = self.training
         self.eval()
         try:
+            # Feed the network in its own precision (see nn.to_dtype) so
+            # an f32 generator runs every GEMM in single precision.
+            dtype = next(self.parameters()).data.dtype
             with nn.no_grad():
-                batch = nn.Tensor(np.asarray(target_image, dtype=float)[None, None])
+                batch = nn.Tensor(
+                    np.asarray(target_image, dtype=dtype)[None, None])
                 mask = self.forward(batch)
             return mask.data[0, 0]
         finally:

@@ -73,8 +73,21 @@ class BatchedILTOptimizer:
 
     # ------------------------------------------------------------------
     def optimize(self, targets: np.ndarray,
-                 max_iterations: Optional[int] = None) -> BatchedILTResult:
-        """Optimize a batch of binary targets ``(N, grid, grid)``."""
+                 max_iterations: Optional[int] = None,
+                 workers: int = 1) -> BatchedILTResult:
+        """Optimize a batch of binary targets ``(N, grid, grid)``.
+
+        ``workers > 1`` shards the batch across a
+        :class:`~repro.parallel.WorkerPool` (one contiguous shard per
+        worker, each running this same lockstep descent); masks and
+        per-clip L2 are bit-exact versus the single-process run.
+        """
+        if workers > 1:
+            from ..parallel.ilt import parallel_batched_ilt
+            return parallel_batched_ilt(
+                targets, self.litho_config, self.config, workers=workers,
+                precision=self.engine.precision,
+                max_iterations=max_iterations)
         targets = np.asarray(targets, dtype=float)
         if targets.ndim != 3 or targets.shape[-1] != self.litho_config.grid:
             raise ValueError(

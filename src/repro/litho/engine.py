@@ -12,33 +12,46 @@ benchmarks — bottoms out in the same two FFT pipelines:
 
 :class:`LithoEngine` is the one implementation of both.  It accepts
 single ``(H, W)`` masks and batched ``(N, H, W)`` stacks through a
-single code path, computes the real-valued mask spectrum with
-``rfft2`` (expanding the half-spectrum via Hermitian symmetry, since
-the kernels themselves are not Hermitian), and caches derived kernel
-tensors at construction.
+single code path and caches derived kernel tensors at construction.
 
 The kernels are bandlimited by the pupil cutoff: at grid 64 each
 ``H_k`` is exactly zero outside a ~13x13 block of frequency rows and
 columns.  The engine exploits this at construction by slicing every
 kernel (and its adjoint/flipped counterpart) down to that passband and
-precomputing small DFT factor matrices restricted to it.  Forward
-fields then cost two thin matmuls per kernel instead of a full 2-D
-FFT, and the adjoint transform only ever evaluates the frequency bins
-the flipped kernels can touch.  Work is looped over kernels on
-``(N, H, W)`` chunks — on one core this cache-friendly shape beats
-materializing ``(N, K, H, W)`` intermediates by a wide margin.  The
-transforms are exact (the discarded bins are identically zero), so
-results match the plain ``fft2`` reference to machine precision.
+precomputing small DFT factor matrices restricted to it.  The mask
+spectrum is evaluated *only on the passband* with two thin matmuls
+(``E_row @ M @ E_col``), forward fields then cost two thin matmuls per
+kernel instead of a full 2-D FFT, and the adjoint transform only ever
+evaluates the frequency bins the flipped kernels can touch.  Work is
+looped over kernels on ``(N, H, W)`` chunks — on one core this
+cache-friendly shape beats materializing ``(N, K, H, W)`` intermediates
+by a wide margin.  The discarded bins are identically zero, so results
+match the plain ``fft2`` reference to machine precision.
+
+Two single-process fast paths are built in:
+
+* **precision mode** — ``precision="f32"`` runs the whole pipeline in
+  ``float32``/``complex64`` (kernels, DFT factors, fields, resist),
+  roughly halving memory traffic; ``"f64"`` (the default, also
+  selectable via ``REPRO_PRECISION``) remains the bit-parity
+  reference.  Documented f32 tolerance: relaxed litho error within
+  1e-3 of the f64 value on normalized masks (see DESIGN.md §10).
+* **workspace arena** — per-engine scratch buffers
+  (:class:`repro.workspace.Workspace`) are reused across iterations
+  for every intermediate that does not escape the call: field
+  tensors, compact spectra, adjoint accumulators.  Arrays returned to
+  callers are always freshly allocated.
 
 Engines are cheap but not free (the adjoint kernel tensor is an
 ``O(K * H * W)`` copy), so :meth:`LithoEngine.for_kernels` memoizes one
-engine per :class:`~repro.litho.kernels.KernelSet` instance — the
-facades in :mod:`repro.litho.aerial`, :mod:`repro.litho.simulator` and
-:mod:`repro.ilt` all share it automatically.
+engine per (:class:`~repro.litho.kernels.KernelSet`, precision) pair —
+the facades in :mod:`repro.litho.aerial`, :mod:`repro.litho.simulator`
+and :mod:`repro.ilt` all share it automatically.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Dict, Optional, Tuple, Union
 
@@ -46,12 +59,37 @@ import numpy as np
 
 from repro.obs import trace
 from repro.obs.registry import MetricsRegistry
+from repro.workspace import Workspace
 
 from .config import LithoConfig
 from .kernels import KernelSet, build_kernels
 from .resist import binarize_mask, hard_resist, sigmoid_mask, _stable_sigmoid
 
 ArrayOrScalar = Union[float, np.ndarray]
+
+#: precision name -> (real dtype, complex dtype)
+PRECISION_DTYPES: Dict[str, Tuple[np.dtype, np.dtype]] = {
+    "f64": (np.dtype(np.float64), np.dtype(np.complex128)),
+    "f32": (np.dtype(np.float32), np.dtype(np.complex64)),
+}
+
+_PRECISION_ALIASES = {
+    "f64": "f64", "float64": "f64", "double": "f64",
+    "f32": "f32", "float32": "f32", "single": "f32",
+}
+
+
+def resolve_precision(precision: Optional[str]) -> str:
+    """Normalize a precision name; ``None`` consults ``REPRO_PRECISION``
+    and falls back to ``"f64"``."""
+    if precision is None:
+        precision = os.environ.get("REPRO_PRECISION") or "f64"
+    key = str(precision).strip().lower()
+    if key not in _PRECISION_ALIASES:
+        raise ValueError(
+            f"unknown precision {precision!r}; expected one of "
+            f"{sorted(set(_PRECISION_ALIASES))}")
+    return _PRECISION_ALIASES[key]
 
 
 class EngineStats:
@@ -146,6 +184,10 @@ class LithoEngine:
     kernels:
         Optional prebuilt :class:`KernelSet`; its config becomes the
         engine's config (and must match ``config`` when both are given).
+    precision:
+        ``"f64"`` (default) or ``"f32"``; ``None`` consults the
+        ``REPRO_PRECISION`` environment variable.  f32 engines compute
+        spectra, fields and the resist in single precision.
 
     All mask-consuming methods accept either a single ``(H, W)`` array
     or a batch ``(N, H, W)`` and return results of matching rank; error
@@ -154,7 +196,8 @@ class LithoEngine:
     """
 
     def __init__(self, config: Optional[LithoConfig] = None,
-                 kernels: Optional[KernelSet] = None):
+                 kernels: Optional[KernelSet] = None,
+                 precision: Optional[str] = None):
         if kernels is None:
             config = config or LithoConfig.paper()
             kernels = build_kernels(config)
@@ -162,36 +205,47 @@ class LithoEngine:
             raise ValueError("injected kernels were built for a different config")
         self.config = kernels.config
         self.kernels = kernels
-        self._freq = kernels.freq_kernels
-        self._adjoint = kernels.flipped()
-        self._weights = kernels.weights
+        self.precision = resolve_precision(precision)
+        rdtype, cdtype = PRECISION_DTYPES[self.precision]
+        self._rdtype, self._cdtype = rdtype, cdtype
+
+        freq = kernels.freq_kernels
+        adjoint = kernels.flipped()
+        self._weights = kernels.weights.astype(rdtype)
 
         # Passband support: the frequency rows/columns where any kernel
         # is nonzero.  Everything outside is identically zero (pupil
         # cutoff), so transforms restricted to this block are exact.
         grid = kernels.grid
-        freq, adjoint = self._freq, self._adjoint
         rows = np.where(np.any(freq != 0, axis=(0, 2)))[0]
         cols = np.where(np.any(freq != 0, axis=(0, 1)))[0]
         arows = np.where(np.any(adjoint != 0, axis=(0, 2)))[0]
         acols = np.where(np.any(adjoint != 0, axis=(0, 1)))[0]
         self._rows, self._cols = rows, cols
         self._freq_cc = np.ascontiguousarray(
-            freq[:, rows[:, None], cols[None, :]])
+            freq[:, rows[:, None], cols[None, :]], dtype=cdtype)
+        # Adjoint kernels with the Eq. 14 factor ``2 w_k`` folded in, so
+        # the backward loop is a single complex multiply per kernel.
         self._adj_cc = np.ascontiguousarray(
-            adjoint[:, arows[:, None], acols[None, :]])
+            (2.0 * kernels.weights)[:, None, None]
+            * adjoint[:, arows[:, None], acols[None, :]], dtype=cdtype)
 
-        # DFT factor matrices restricted to the passband.  ``fields =
-        # ifft_row @ (P @ ifft_col)`` is the inverse 2-D DFT of a
-        # spectrum P supported on (rows x cols); the ``fft_*`` pair
-        # evaluates a forward 2-D DFT only at the adjoint support, and
-        # ``grad_*`` inverts from that support back to the full grid.
+        # DFT factor matrices restricted to the passband.  ``spec_row @
+        # M @ spec_col`` evaluates the forward 2-D DFT of a real mask
+        # only at the (rows x cols) kernel support; ``fields = ifft_row
+        # @ (P @ ifft_col)`` is the inverse 2-D DFT of a spectrum P
+        # supported there; the ``fft_*`` pair evaluates a forward DFT
+        # only at the adjoint support, and ``grad_*`` inverts from that
+        # support back to the full grid.
         x = np.arange(grid)
         omega = 2j * np.pi / grid
 
         def _dft(a, b, sign, scale):
-            return np.exp(sign * omega * np.outer(a, b)) * scale
+            return (np.exp(sign * omega * np.outer(a, b)) * scale
+                    ).astype(cdtype)
 
+        self._spec_row = _dft(rows, x, -1, 1.0)
+        self._spec_col = _dft(x, cols, -1, 1.0)
         self._ifft_row = _dft(x, rows, +1, 1.0 / grid)
         self._ifft_col = _dft(cols, x, +1, 1.0 / grid)
         self._fft_row = _dft(arows, x, -1, 1.0)
@@ -201,20 +255,28 @@ class LithoEngine:
 
         # Batched-gradient chunk size: cap the per-chunk field tensor
         # at ~8 MB so it stays cache-resident (see _forward).
-        bytes_per_sample = len(self._weights) * grid * grid * 16
+        bytes_per_sample = len(self._weights) * grid * grid * cdtype.itemsize
         self._gradient_chunk = max(1, (8 << 20) // bytes_per_sample)
 
+        self.workspace = Workspace()
         self.metrics = MetricsRegistry()
         self.stats = EngineStats(self.metrics)
 
     # ------------------------------------------------------------------
     @classmethod
-    def for_kernels(cls, kernels: KernelSet) -> "LithoEngine":
-        """Shared engine for a kernel set (memoized on the instance)."""
-        engine = kernels.__dict__.get("_engine")
+    def for_kernels(cls, kernels: KernelSet,
+                    precision: Optional[str] = None) -> "LithoEngine":
+        """Shared engine for a kernel set (memoized per precision on the
+        instance)."""
+        precision = resolve_precision(precision)
+        engines = kernels.__dict__.get("_engines")
+        if engines is None:
+            engines = {}
+            object.__setattr__(kernels, "_engines", engines)
+        engine = engines.get(precision)
         if engine is None:
-            engine = cls(kernels=kernels)
-            object.__setattr__(kernels, "_engine", engine)
+            engine = cls(kernels=kernels, precision=precision)
+            engines[precision] = engine
         return engine
 
     @property
@@ -228,7 +290,9 @@ class LithoEngine:
     # ------------------------------------------------------------------
     def _as_batch(self, masks: np.ndarray) -> Tuple[np.ndarray, bool]:
         """Promote a mask or mask stack to ``(N, grid, grid)``."""
-        masks = np.asarray(masks, dtype=float)
+        masks = np.asarray(masks)
+        if masks.dtype != self._rdtype:
+            masks = masks.astype(self._rdtype)
         single = masks.ndim == 2
         if single:
             masks = masks[None]
@@ -242,7 +306,9 @@ class LithoEngine:
         return masks, single
 
     def _as_targets(self, targets: np.ndarray) -> np.ndarray:
-        targets = np.asarray(targets, dtype=float)
+        targets = np.asarray(targets)
+        if targets.dtype != self._rdtype:
+            targets = targets.astype(self._rdtype)
         if targets.shape[-2:] != (self.grid,) * 2:
             raise ValueError(
                 f"target shape {targets.shape} does not match grid {self.grid}")
@@ -250,12 +316,30 @@ class LithoEngine:
 
     def _compact_spectrum(self, batch: np.ndarray,
                           spectrum: Optional[np.ndarray] = None) -> np.ndarray:
-        """Mask spectrum sliced to the kernel passband, ``(N, R, C)``."""
-        if spectrum is None:
-            with trace.span("litho.spectrum", masks=batch.shape[0]):
-                spectrum = real_spectrum(batch)
-        return np.ascontiguousarray(
-            spectrum[:, self._rows[:, None], self._cols[None, :]])
+        """Mask spectrum evaluated on the kernel passband, ``(N, R, C)``.
+
+        Without a precomputed full spectrum this is two thin complex
+        matmuls (the DFT restricted to the support), run on workspace
+        buffers — no full-grid FFT is ever materialized.
+        """
+        ws = self.workspace
+        n, grid = batch.shape[0], self.grid
+        n_rows, n_cols = len(self._rows), len(self._cols)
+        if spectrum is not None:
+            return np.ascontiguousarray(
+                spectrum[:, self._rows[:, None], self._cols[None, :]],
+                dtype=self._cdtype)
+        with trace.span("litho.spectrum", masks=n):
+            complex_batch = ws.get("spec.batch", (n, grid, grid),
+                                   self._cdtype)
+            complex_batch[...] = batch
+            partial = np.matmul(
+                self._spec_row, complex_batch,
+                out=ws.get("spec.partial", (n, n_rows, grid), self._cdtype))
+            return np.matmul(
+                partial, self._spec_col,
+                out=ws.get("spec.compact", (n, n_rows, n_cols),
+                           self._cdtype))
 
     def _field_k(self, compact: np.ndarray, k: int,
                  out: Optional[np.ndarray] = None) -> np.ndarray:
@@ -284,27 +368,41 @@ class LithoEngine:
 
     def _forward_impl(self, batch: np.ndarray, dose: float,
                       keep_fields: bool,
-                      spectrum: Optional[np.ndarray] = None
+                      spectrum: Optional[np.ndarray] = None,
+                      ws: Optional[Workspace] = None
                       ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
         """Fused aerial-intensity loop over kernels (no accounting).
 
         Returns ``(intensity, fields)`` with fields in ``(K, N, H, W)``
         layout (contiguous per kernel) or ``None`` when not requested.
-        Looping keeps the per-kernel working set cache-resident; a
-        single scratch buffer is reused when fields are discarded.
+        Looping keeps the per-kernel working set cache-resident.
+
+        ``ws`` opts the *escaping* outputs (intensity, fields) into the
+        workspace arena — pass it only from call sites that consume
+        both before the next engine call (the adjoint path).  Public
+        paths leave it ``None`` so returned arrays are freshly owned;
+        non-escaping scratch always comes from the engine workspace.
         """
         compact = self._compact_spectrum(batch, spectrum)
         n, grid = batch.shape[0], self.grid
         num_kernels = len(self._weights)
-        fields = (np.empty((num_kernels, n, grid, grid), dtype=complex)
-                  if keep_fields else None)
-        scratch = None
-        intensity = np.zeros((n, grid, grid))
+        if keep_fields:
+            shape = (num_kernels, n, grid, grid)
+            fields = (ws.get("fwd.fields", shape, self._cdtype)
+                      if ws is not None
+                      else np.empty(shape, dtype=self._cdtype))
+        else:
+            fields = None
+        scratch = self.workspace.get("fwd.scratch", (n, grid, grid),
+                                     self._cdtype)
+        if ws is not None:
+            intensity = ws.zeros("fwd.intensity", (n, grid, grid),
+                                 self._rdtype)
+        else:
+            intensity = np.zeros((n, grid, grid), dtype=self._rdtype)
         for k in range(num_kernels):
             out = fields[k] if keep_fields else scratch
             field = self._field_k(compact, k, out=out)
-            if not keep_fields:
-                scratch = field
             intensity += self._weights[k] * (field.real ** 2 +
                                              field.imag ** 2)
         if dose != 1.0:
@@ -316,7 +414,7 @@ class LithoEngine:
         """Coherent fields ``M (x) h_k``, shaped ``(N, K, grid, grid)``."""
         compact = self._compact_spectrum(batch, spectrum)
         num_kernels = len(self._weights)
-        stacked = np.empty((num_kernels,) + batch.shape, dtype=complex)
+        stacked = np.empty((num_kernels,) + batch.shape, dtype=self._cdtype)
         for k in range(num_kernels):
             self._field_k(compact, k, out=stacked[k])
         return stacked.transpose(1, 0, 2, 3)
@@ -415,8 +513,8 @@ class LithoEngine:
         with trace.span("litho.adjoint", masks=batch.shape[0]):
             chunk = self._gradient_chunk
             if batch.shape[0] > chunk:
-                errors = np.empty(batch.shape[0])
-                grads = np.empty(batch.shape)
+                errors = np.empty(batch.shape[0], dtype=self._rdtype)
+                grads = np.empty(batch.shape, dtype=self._rdtype)
                 for i in range(0, batch.shape[0], chunk):
                     errors[i:i + chunk], grads[i:i + chunk] = \
                         self._gradient_chunk_wrt_mask(
@@ -436,7 +534,9 @@ class LithoEngine:
     def _gradient_chunk_wrt_mask(
             self, batch: np.ndarray, targets: np.ndarray, threshold: float,
             steepness: float, dose: float) -> Tuple[np.ndarray, np.ndarray]:
-        intensity, fields = self._forward_impl(batch, dose, keep_fields=True)
+        ws = self.workspace
+        intensity, fields = self._forward_impl(batch, dose, keep_fields=True,
+                                               ws=ws)
         wafer = _stable_sigmoid(steepness * (intensity - threshold))
         diff = wafer - targets
         errors = np.sum(diff * diff, axis=(-2, -1))
@@ -448,15 +548,33 @@ class LithoEngine:
 
         # Adjoint push through every coherent system: transform
         # ``dE/dI * conj(field_k)`` only onto the flipped kernel's
-        # passband, multiply there, and accumulate over k.
-        accumulated = np.zeros(
-            (batch.shape[0],) + self._adj_cc.shape[1:], dtype=complex)
+        # passband, multiply there (``_adj_cc`` carries the ``2 w_k``
+        # factor), and accumulate over k.  All intermediates live in
+        # the workspace arena; only ``errors``/``grad`` escape.
+        n, grid = batch.shape[0], self.grid
+        n_arows, n_acols = self._adj_cc.shape[1:]
+        accumulated = ws.zeros("adj.acc", (n, n_arows, n_acols),
+                               self._cdtype)
+        weighted = ws.get("adj.weighted", (n, grid, grid), self._cdtype)
+        partial = ws.get("adj.partial", (n, n_arows, grid), self._cdtype)
+        spectrum_k = ws.get("adj.spectrum", (n, n_arows, n_acols),
+                            self._cdtype)
         for k in range(len(self._weights)):
-            weighted = grad_intensity * np.conj(fields[k])
-            spectrum_k = np.matmul(self._fft_row, weighted) @ self._fft_col
-            accumulated += ((2.0 * self._weights[k]) * spectrum_k *
-                            self._adj_cc[k])
-        grad = (self._grad_row @ (accumulated @ self._grad_col)).real
+            np.conjugate(fields[k], out=weighted)
+            weighted *= grad_intensity
+            np.matmul(self._fft_row, weighted, out=partial)
+            np.matmul(partial, self._fft_col, out=spectrum_k)
+            spectrum_k *= self._adj_cc[k]
+            accumulated += spectrum_k
+        expanded = np.matmul(
+            self._grad_row,
+            np.matmul(accumulated, self._grad_col,
+                      out=ws.get("adj.expand", (n, n_arows, grid),
+                                 self._cdtype)),
+            out=ws.get("adj.grad", (n, grid, grid), self._cdtype))
+        # ``.real`` is a view into the workspace buffer — copy so the
+        # returned gradient owns its memory.
+        grad = np.array(expanded.real, dtype=self._rdtype)
         return errors, grad
 
     def error_and_gradient(
@@ -469,7 +587,10 @@ class LithoEngine:
         parameters ``M`` (Eq. 14 in full, including the mask sigmoid)."""
         beta = (self.config.mask_steepness if mask_steepness is None
                 else mask_steepness)
-        relaxed = sigmoid_mask(np.asarray(mask_params, dtype=float), beta)
+        params = np.asarray(mask_params)
+        if params.dtype != self._rdtype:
+            params = params.astype(self._rdtype)
+        relaxed = sigmoid_mask(params, beta)
         error, grad_mb = self.error_and_gradient_wrt_mask(
             relaxed, target, threshold=threshold,
             resist_steepness=resist_steepness, dose=dose)

@@ -21,10 +21,19 @@ import numpy as np
 
 from repro.obs import profiler as _profiler
 from repro.obs.profiler import conv2d_flops, conv_transpose2d_flops
+from repro.workspace import Workspace
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
 
 IntPair = Union[int, Tuple[int, int]]
+
+#: Module-level scratch arena for the convolution lowering.  Only the
+#: *inference* path draws from it: with autograd enabled the forward
+#: columns are cached in the backward closure (so the weight gradient
+#: never recomputes im2col) and must therefore own their memory, while
+#: in eval mode ``Tensor._make`` drops the closure and the columns can
+#: safely live in reused scratch.
+_WORKSPACE = Workspace()
 
 
 def _pair(value: IntPair) -> Tuple[int, int]:
@@ -37,7 +46,8 @@ def _pair(value: IntPair) -> Tuple[int, int]:
 # im2col / col2im
 # ----------------------------------------------------------------------
 def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
-           padding: Tuple[int, int]) -> np.ndarray:
+           padding: Tuple[int, int],
+           out: Optional[np.ndarray] = None) -> np.ndarray:
     """Lower image patches to columns.
 
     Parameters
@@ -46,6 +56,10 @@ def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
         Input of shape ``(N, C, H, W)``.
     kernel, stride, padding:
         Spatial convolution geometry.
+    out:
+        Optional preallocated ``(N, C * KH * KW, OH * OW)`` destination
+        (e.g. a workspace buffer); the patch gather is written into it
+        instead of allocating.
 
     Returns
     -------
@@ -67,6 +81,9 @@ def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int],
     shape = (n, c, kh, kw, oh, ow)
     strides = (sn, sc, sh_, sw_, sh_ * sh, sw_ * sw)
     patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    if out is not None:
+        np.copyto(out.reshape(shape), patches)
+        return out
     return patches.reshape(n, c * kh * kw, oh * ow) if patches.flags.c_contiguous \
         else np.ascontiguousarray(patches).reshape(n, c * kh * kw, oh * ow)
 
@@ -111,11 +128,19 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
 
     prof = _profiler.ACTIVE
     started = time.perf_counter() if prof is not None else 0.0
-    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*KH*KW, L)
-    w_flat = weight.data.reshape(f, -1)               # (F, C*KH*KW)
-    out = w_flat @ cols                               # (N, F, L)
     oh = (h + 2 * padding[0] - kh) // stride[0] + 1
     ow = (w + 2 * padding[1] - kw) // stride[1] + 1
+    # With grad enabled the columns are closed over below so the weight
+    # gradient reuses them instead of re-running im2col; they must own
+    # their memory.  In eval mode the closure is dropped and the gather
+    # can target reused workspace scratch.
+    scratch = None
+    if not is_grad_enabled():
+        scratch = _WORKSPACE.get(("conv2d.cols", n, c * kh * kw, oh * ow),
+                                 (n, c * kh * kw, oh * ow), x.data.dtype)
+    cols = im2col(x.data, (kh, kw), stride, padding, out=scratch)
+    w_flat = weight.data.reshape(f, -1)               # (F, C*KH*KW)
+    out = w_flat @ cols                               # (N, F, L)
     out = out.reshape(n, f, oh, ow)
     if bias is not None:
         out = out + bias.data.reshape(1, f, 1, 1)
@@ -123,9 +148,13 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     parents = (x, weight) if bias is None else (x, weight, bias)
 
     def backward(grad):
-        grad_flat = grad.reshape(n, f, -1)                     # (N, F, L)
-        grad_w = np.einsum("nfl,nkl->fk", grad_flat, cols)     # (F, C*KH*KW)
-        grad_cols = np.einsum("fk,nfl->nkl", w_flat, grad_flat)
+        grad_flat = np.ascontiguousarray(grad.reshape(n, f, -1))  # (N, F, L)
+        # Batched GEMMs (einsum here would bypass BLAS): the weight
+        # gradient contracts the cached forward columns per sample and
+        # sums; the input gradient broadcasts ``w_flat.T`` over the
+        # batch before the col2im scatter.
+        grad_w = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)
+        grad_cols = np.matmul(w_flat.T, grad_flat)                # (N, K, L)
         grad_x = col2im(grad_cols, (n, c, h, w), (kh, kw), stride, padding)
         grads = [grad_x, grad_w.reshape(weight.shape)]
         if bias is not None:
@@ -166,7 +195,13 @@ def conv_transpose2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     started = time.perf_counter() if prof is not None else 0.0
     w_flat = weight.data.reshape(c, f * kh * kw)               # (C, F*KH*KW)
     x_flat = x.data.reshape(n, c, h * w)                       # (N, C, L)
-    cols = np.einsum("ck,ncl->nkl", w_flat, x_flat)            # (N, F*KH*KW, L)
+    scratch = None
+    if not is_grad_enabled():
+        dtype = np.result_type(w_flat.dtype, x_flat.dtype)
+        scratch = _WORKSPACE.get(
+            ("deconv2d.cols", n, f * kh * kw, h * w),
+            (n, f * kh * kw, h * w), dtype)
+    cols = np.matmul(w_flat.T, x_flat, out=scratch)            # (N, F*KH*KW, L)
     out = col2im(cols, (n, f, oh, ow), (kh, kw), stride, padding)
     if bias is not None:
         out = out + bias.data.reshape(1, f, 1, 1)
@@ -175,8 +210,9 @@ def conv_transpose2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
 
     def backward(grad):
         grad_cols = im2col(grad, (kh, kw), stride, padding)    # (N, F*KH*KW, L)
-        grad_x = np.einsum("ck,nkl->ncl", w_flat, grad_cols).reshape(n, c, h, w)
-        grad_w = np.einsum("ncl,nkl->ck", x_flat, grad_cols).reshape(weight.shape)
+        grad_x = np.matmul(w_flat, grad_cols).reshape(n, c, h, w)
+        grad_w = np.matmul(x_flat, grad_cols.transpose(0, 2, 1)
+                           ).sum(axis=0).reshape(weight.shape)
         grads = [grad_x, grad_w]
         if bias is not None:
             grads.append(grad.sum(axis=(0, 2, 3)))

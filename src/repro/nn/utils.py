@@ -52,6 +52,30 @@ def clip_grad_value(parameters: Iterable[Parameter], limit: float) -> None:
             np.clip(param.grad, -limit, limit, out=param.grad)
 
 
+def to_dtype(module: Module, dtype) -> Module:
+    """Cast every parameter, gradient and buffer of ``module`` (and its
+    submodules) to ``dtype``, in place.  Returns the module.
+
+    This is the nn half of the engine's precision mode: casting the
+    generator to ``float32`` makes every conv/deconv GEMM run in
+    single precision, matching an f32 :class:`~repro.litho.LithoEngine`
+    end to end.
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"to_dtype supports float32/float64, got {dtype}")
+    for sub in module.modules():
+        for name, param in sub._parameters.items():
+            param.data = param.data.astype(dtype, copy=False)
+            if param.grad is not None:
+                param.grad = param.grad.astype(dtype, copy=False)
+        for name, buf in list(sub._buffers.items()):
+            # re-register so both the dict entry and the instance
+            # attribute point at the cast array
+            sub.register_buffer(name, buf.astype(dtype, copy=False))
+    return module
+
+
 def parameter_summary(module: Module) -> str:
     """Human-readable table of a module's parameters (name, shape,
     count), ending with the total — handy in examples and docs."""

@@ -1,0 +1,276 @@
+"""Parallel ILT: fan independent clips across the worker pool.
+
+Per-clip ILT runs (reference-mask generation, the Table 2 baseline
+column, Fig. 6 refinement over a benchmark suite) are embarrassingly
+parallel: each clip's descent touches nothing but its own target.
+:func:`parallel_ilt` distributes them one clip per task, with targets
+(and optional warm-start masks) shipped through one shared-memory
+segment and the image-shaped outputs — best mask, relaxed mask, final
+parameters — written into another.  Only scalars and histories cross
+the pickle boundary, so the transported bytes are independent of grid
+size.
+
+Determinism: ILT is noise-free steepest descent, and each worker runs
+the identical :class:`~repro.ilt.optimizer.ILTOptimizer` code on the
+identical float64 inputs, so parallel results are **bit-exact** equal
+to a serial per-clip loop (asserted in ``tests/parallel``).  In f32
+precision mode the documented tolerance is a litho-error delta of at
+most 1e-3 versus f64 (see DESIGN.md §10).
+
+:func:`parallel_batched_ilt` is the sharded variant of
+:class:`~repro.ilt.batched.BatchedILTOptimizer`: each worker runs the
+lockstep batched descent on a contiguous shard.  Per-sample math is
+independent, so masks and per-clip L2 are bit-exact versus the
+single-process batched run; only the (reporting-only) mean relaxed
+history is recombined as a shard-size-weighted mean.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..ilt.batched import BatchedILTOptimizer, BatchedILTResult
+from ..ilt.optimizer import ILTConfig, ILTOptimizer, ILTResult
+from ..litho.config import LithoConfig
+from .pool import PoolStats, WorkerPool, attach_array, worker_engine
+from .shm import ShmSpec, SharedArray
+
+
+@dataclass
+class ParallelILTResult:
+    """Outcome of a parallel per-clip ILT run."""
+
+    results: List[ILTResult]
+    runtime_seconds: float
+    workers: int
+    pool_stats: Optional[PoolStats] = None
+
+    @property
+    def masks(self) -> np.ndarray:
+        return np.stack([r.mask for r in self.results])
+
+    @property
+    def l2(self) -> np.ndarray:
+        return np.array([r.l2 for r in self.results])
+
+
+# ----------------------------------------------------------------------
+# Worker tasks (module-level: must be picklable)
+# ----------------------------------------------------------------------
+def _ilt_clip_task(index: int, targets_spec: ShmSpec,
+                   initial_spec: Optional[ShmSpec], out_spec: ShmSpec,
+                   litho_config: LithoConfig, ilt_config: ILTConfig,
+                   max_iterations: Optional[int]):
+    """Optimize one clip; images go to shared memory, scalars return."""
+    targets = attach_array(targets_spec)
+    initial = (attach_array(initial_spec)[index]
+               if initial_spec is not None else None)
+    optimizer = ILTOptimizer(litho_config, ilt_config,
+                             engine=worker_engine(litho_config))
+    result = optimizer.optimize(targets[index], initial_mask=initial,
+                                max_iterations=max_iterations)
+    out = attach_array(out_spec)
+    out[0, index] = result.mask
+    out[1, index] = result.mask_relaxed
+    out[2, index] = result.params
+    return (index, result.l2, result.relaxed_history, result.l2_history,
+            result.iterations, result.runtime_seconds, result.converged)
+
+
+def _ilt_shard_task(start: int, stop: int, targets_spec: ShmSpec,
+                    out_spec: ShmSpec, litho_config: LithoConfig,
+                    ilt_config: ILTConfig, max_iterations: Optional[int]):
+    """Run the lockstep batched descent on ``targets[start:stop]``."""
+    targets = attach_array(targets_spec)
+    optimizer = BatchedILTOptimizer(litho_config, ilt_config,
+                                    engine=worker_engine(litho_config))
+    result = optimizer.optimize(targets[start:stop],
+                                max_iterations=max_iterations)
+    out = attach_array(out_spec)
+    out[0, start:stop] = result.masks
+    return (start, stop, result.l2.tolist(), result.relaxed_history,
+            result.iterations, result.runtime_seconds)
+
+
+# ----------------------------------------------------------------------
+# Parent-side drivers
+# ----------------------------------------------------------------------
+def parallel_ilt(targets: np.ndarray,
+                 litho_config: Optional[LithoConfig] = None,
+                 ilt_config: Optional[ILTConfig] = None,
+                 workers: int = 1,
+                 precision: Optional[str] = None,
+                 initial_masks: Optional[np.ndarray] = None,
+                 max_iterations: Optional[int] = None,
+                 pool: Optional[WorkerPool] = None) -> ParallelILTResult:
+    """Per-clip ILT over a target stack, fanned across worker processes.
+
+    Parameters
+    ----------
+    targets:
+        Binary target stack ``(N, grid, grid)``.
+    workers:
+        Worker processes; ``1`` runs serially in-process (the parity
+        reference — identical code path, no pool).
+    precision:
+        Worker engine precision (``None`` = environment default).
+    initial_masks:
+        Optional per-clip warm starts ``(N, grid, grid)``.
+    pool:
+        Reuse an existing pool (its config/precision win); otherwise a
+        pool is created and torn down inside this call.
+    """
+    litho_config = litho_config or LithoConfig.paper()
+    ilt_config = ilt_config or ILTConfig()
+    targets = np.asarray(targets, dtype=float)
+    if targets.ndim != 3:
+        raise ValueError(f"targets must be (N, g, g), got {targets.shape}")
+    n = targets.shape[0]
+    started = time.perf_counter()
+
+    if workers <= 1 and pool is None:
+        from ..litho.engine import LithoEngine
+        from ..litho.kernels import build_kernels
+        engine = LithoEngine.for_kernels(build_kernels(litho_config),
+                                         precision=precision)
+        optimizer = ILTOptimizer(litho_config, ilt_config, engine=engine)
+        results = [optimizer.optimize(
+                       targets[i],
+                       initial_mask=(initial_masks[i]
+                                     if initial_masks is not None else None),
+                       max_iterations=max_iterations)
+                   for i in range(n)]
+        return ParallelILTResult(results=results,
+                                 runtime_seconds=time.perf_counter() - started,
+                                 workers=1)
+
+    grid = targets.shape[-1]
+    own_pool = pool is None
+    if own_pool:
+        pool = WorkerPool(workers, litho_config=litho_config,
+                          precision=precision)
+    shared_targets = SharedArray.from_array(targets)
+    shared_initial = (SharedArray.from_array(np.asarray(initial_masks,
+                                                        dtype=float))
+                      if initial_masks is not None else None)
+    shared_out = SharedArray.create((3, n, grid, grid), np.float64)
+    try:
+        reports = pool.map(
+            _ilt_clip_task,
+            [(i, shared_targets.spec,
+              shared_initial.spec if shared_initial is not None else None,
+              shared_out.spec, litho_config, ilt_config, max_iterations)
+             for i in range(n)],
+            label="parallel.ilt")
+        out = np.array(shared_out.array, copy=True)
+    finally:
+        shared_targets.close()
+        shared_targets.unlink()
+        if shared_initial is not None:
+            shared_initial.close()
+            shared_initial.unlink()
+        shared_out.close()
+        shared_out.unlink()
+        if own_pool:
+            pool.shutdown()
+
+    results: List[Optional[ILTResult]] = [None] * n
+    for (index, l2, relaxed_history, l2_history, iterations,
+         runtime_seconds, converged) in reports:
+        results[index] = ILTResult(
+            mask=out[0, index], mask_relaxed=out[1, index],
+            params=out[2, index], l2=l2,
+            relaxed_history=relaxed_history, l2_history=l2_history,
+            iterations=iterations, runtime_seconds=runtime_seconds,
+            converged=converged)
+    return ParallelILTResult(results=results,
+                             runtime_seconds=time.perf_counter() - started,
+                             workers=pool.workers, pool_stats=pool.stats)
+
+
+def shard_bounds(n: int, shards: int) -> List[tuple]:
+    """Contiguous near-equal ``(start, stop)`` shards covering ``range(n)``."""
+    shards = max(1, min(shards, n))
+    base, extra = divmod(n, shards)
+    bounds = []
+    start = 0
+    for s in range(shards):
+        stop = start + base + (1 if s < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def parallel_batched_ilt(targets: np.ndarray,
+                         litho_config: Optional[LithoConfig] = None,
+                         ilt_config: Optional[ILTConfig] = None,
+                         workers: int = 1,
+                         precision: Optional[str] = None,
+                         max_iterations: Optional[int] = None,
+                         pool: Optional[WorkerPool] = None
+                         ) -> BatchedILTResult:
+    """Sharded :class:`BatchedILTOptimizer` run (same result contract).
+
+    Masks and per-clip L2 are bit-exact versus the single-process
+    batched optimizer; the mean relaxed history is recombined as a
+    shard-size-weighted average.
+    """
+    litho_config = litho_config or LithoConfig.paper()
+    ilt_config = ilt_config or ILTConfig()
+    targets = np.asarray(targets, dtype=float)
+    n = targets.shape[0]
+
+    if workers <= 1 and pool is None:
+        from ..litho.engine import LithoEngine
+        from ..litho.kernels import build_kernels
+        engine = LithoEngine.for_kernels(build_kernels(litho_config),
+                                         precision=precision)
+        return BatchedILTOptimizer(litho_config, ilt_config,
+                                   engine=engine).optimize(
+                                       targets, max_iterations=max_iterations)
+
+    started = time.perf_counter()
+    grid = targets.shape[-1]
+    own_pool = pool is None
+    if own_pool:
+        pool = WorkerPool(workers, litho_config=litho_config,
+                          precision=precision)
+    shared_targets = SharedArray.from_array(targets)
+    shared_out = SharedArray.create((1, n, grid, grid), np.float64)
+    try:
+        reports = pool.map(
+            _ilt_shard_task,
+            [(start, stop, shared_targets.spec, shared_out.spec,
+              litho_config, ilt_config, max_iterations)
+             for start, stop in shard_bounds(n, pool.workers)],
+            label="parallel.batched_ilt")
+        masks = np.array(shared_out.array[0], copy=True)
+    finally:
+        shared_targets.close()
+        shared_targets.unlink()
+        shared_out.close()
+        shared_out.unlink()
+        if own_pool:
+            pool.shutdown()
+
+    l2 = np.empty(n)
+    iterations = 0
+    history_parts = []
+    for start, stop, shard_l2, shard_history, shard_iters, _ in reports:
+        l2[start:stop] = shard_l2
+        iterations = max(iterations, shard_iters)
+        history_parts.append((stop - start, shard_history))
+    # Weighted recombination of the per-shard mean histories.
+    steps = max(len(h) for _, h in history_parts)
+    history = []
+    for step in range(steps):
+        num = sum(w * h[step] for w, h in history_parts if step < len(h))
+        den = sum(w for w, h in history_parts if step < len(h))
+        history.append(num / den)
+    return BatchedILTResult(masks=masks, l2=l2, relaxed_history=history,
+                            iterations=iterations,
+                            runtime_seconds=time.perf_counter() - started)

@@ -1,0 +1,267 @@
+"""Process pool with warm per-worker litho engines.
+
+:class:`WorkerPool` wraps ``concurrent.futures.ProcessPoolExecutor``
+with the conventions every parallel workload in this repo shares:
+
+* **warm engines** — each worker process builds (lazily, on first use)
+  one :class:`~repro.litho.engine.LithoEngine` for the pool's litho
+  config and precision, via :func:`worker_engine`.  Under the default
+  ``fork`` start method the parent's in-process kernel cache is
+  inherited, so workers never re-decompose kernels; under ``spawn``
+  they fall back to the ``REPRO_KERNEL_CACHE`` disk cache.
+* **shared-memory transport** — tasks receive
+  :class:`~repro.parallel.shm.ShmSpec` handles and map the arrays with
+  :func:`attach_array`, which memoizes attachments per segment so a
+  worker maps each array once, not once per task.
+* **error discipline** — an exception inside a task is captured with
+  its traceback and re-raised in the parent as :class:`WorkerTaskError`
+  (remaining futures are cancelled); a worker dying outright (segfault,
+  ``os._exit``) surfaces promptly as :class:`WorkerCrashError` instead
+  of hanging the parent.
+* **observability** — every :meth:`WorkerPool.map` runs under a
+  ``parallel.map`` span, and per-task ``(pid, seconds)`` reports are
+  aggregated into :class:`PoolStats`, whose :meth:`PoolStats.format_table`
+  is what ``repro profile --workers N`` prints as per-worker
+  utilization.
+
+Task functions must be module-level (picklable); per-task arguments
+should be small — ship arrays through shared memory, not arguments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs import trace
+
+from ..litho.config import LithoConfig
+from ..litho.engine import LithoEngine, resolve_precision
+from ..litho.kernels import build_kernels
+from .shm import ShmSpec, SharedArray
+
+
+class WorkerTaskError(RuntimeError):
+    """A task raised inside a worker; carries the remote traceback."""
+
+    def __init__(self, message: str, remote_traceback: str = ""):
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died without reporting a result."""
+
+
+# ----------------------------------------------------------------------
+# Worker-side globals (one copy per worker process)
+# ----------------------------------------------------------------------
+_WORKER_STATE: Dict[str, Any] = {
+    "litho_config": None,
+    "precision": None,
+    "state": None,
+    "arrays": {},
+}
+
+
+def _worker_init(litho_config: Optional[LithoConfig], precision: str,
+                 state: Any) -> None:
+    """Executor initializer: stash the pool-wide context in this worker."""
+    _WORKER_STATE["litho_config"] = litho_config
+    _WORKER_STATE["precision"] = precision
+    _WORKER_STATE["state"] = state
+    _WORKER_STATE["arrays"] = {}
+
+
+def worker_engine(litho_config: Optional[LithoConfig] = None) -> LithoEngine:
+    """The warm per-process engine for the pool's (or given) config."""
+    config = litho_config or _WORKER_STATE["litho_config"]
+    if config is None:
+        raise RuntimeError("pool has no litho config and none was given")
+    return LithoEngine.for_kernels(build_kernels(config),
+                                   precision=_WORKER_STATE["precision"])
+
+
+def worker_state() -> Any:
+    """Pool-wide broadcast state (e.g. generator weights), if any."""
+    return _WORKER_STATE["state"]
+
+
+def attach_array(spec: ShmSpec):
+    """Attach (memoized per worker) a shared array and return the ndarray."""
+    shared = _WORKER_STATE["arrays"].get(spec.name)
+    if shared is None:
+        shared = SharedArray.attach(spec)
+        _WORKER_STATE["arrays"][spec.name] = shared
+    return shared.array
+
+
+def _run_task(fn: Callable, args: Tuple) -> Tuple:
+    """Worker-side wrapper: time the task and capture failures.
+
+    Failures come back as data (not raised) so the parent never trips
+    over an exception type that does not survive pickling.
+    """
+    started = time.perf_counter()
+    try:
+        value = fn(*args)
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        return ("error", f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(), os.getpid(),
+                time.perf_counter() - started)
+    return ("ok", value, os.getpid(), time.perf_counter() - started)
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool
+# ----------------------------------------------------------------------
+@dataclass
+class PoolStats:
+    """Aggregated per-worker execution accounting for one pool."""
+
+    workers: int = 0
+    tasks: int = 0
+    wall_seconds: float = 0.0
+    busy_seconds: Dict[int, float] = field(default_factory=dict)
+    task_counts: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, pid: int, seconds: float) -> None:
+        self.tasks += 1
+        self.busy_seconds[pid] = self.busy_seconds.get(pid, 0.0) + seconds
+        self.task_counts[pid] = self.task_counts.get(pid, 0) + 1
+
+    @property
+    def total_busy_seconds(self) -> float:
+        return sum(self.busy_seconds.values())
+
+    def utilization(self) -> float:
+        """Mean fraction of pool wall-clock each worker spent computing."""
+        if self.wall_seconds <= 0.0 or self.workers == 0:
+            return 0.0
+        return self.total_busy_seconds / (self.wall_seconds * self.workers)
+
+    def format_table(self) -> str:
+        """Per-worker utilization table (``repro profile`` output)."""
+        lines = [f"{'worker pid':>12s} {'tasks':>6s} {'busy s':>9s} "
+                 f"{'util %':>7s}"]
+        for pid in sorted(self.busy_seconds):
+            busy = self.busy_seconds[pid]
+            util = (100.0 * busy / self.wall_seconds
+                    if self.wall_seconds > 0 else 0.0)
+            lines.append(f"{pid:>12d} {self.task_counts[pid]:>6d} "
+                         f"{busy:>9.3f} {util:>6.1f}%")
+        lines.append(f"{'total':>12s} {self.tasks:>6d} "
+                     f"{self.total_busy_seconds:>9.3f} "
+                     f"{100.0 * self.utilization():>6.1f}%")
+        return "\n".join(lines)
+
+
+def default_context() -> str:
+    """``fork`` where the platform offers it (warm caches), else ``spawn``."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+class WorkerPool:
+    """Fixed-size process pool for independent litho/ILT work items.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (>= 1).
+    litho_config:
+        Config whose engine :func:`worker_engine` builds in each worker.
+    precision:
+        Engine precision for workers (``None`` = ``REPRO_PRECISION``).
+    state:
+        Arbitrary picklable broadcast state, shipped once per worker at
+        startup and readable via :func:`worker_state` (e.g. generator
+        weights for the flow/Table-2 workloads).
+    context:
+        ``multiprocessing`` start-method name; default prefers ``fork``.
+    """
+
+    def __init__(self, workers: int,
+                 litho_config: Optional[LithoConfig] = None,
+                 precision: Optional[str] = None,
+                 state: Any = None,
+                 context: Optional[str] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.litho_config = litho_config
+        self.precision = resolve_precision(precision)
+        self.state = state
+        self.context = context or default_context()
+        self.stats = PoolStats(workers=self.workers)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(self.context),
+                initializer=_worker_init,
+                initargs=(self.litho_config, self.precision, self.state))
+        return self._executor
+
+    def map(self, fn: Callable, items: Iterable[Tuple],
+            label: str = "parallel.map") -> List[Any]:
+        """Run ``fn(*item)`` for every item; results in submission order.
+
+        ``fn`` must be a module-level function.  A task exception
+        cancels the remaining work and raises :class:`WorkerTaskError`
+        with the worker traceback; a dead worker raises
+        :class:`WorkerCrashError`.
+        """
+        items = list(items)
+        executor = self._ensure_executor()
+        started = time.perf_counter()
+        futures = [executor.submit(_run_task, fn, tuple(item))
+                   for item in items]
+        results: List[Any] = []
+        with trace.span(label, tasks=len(items), workers=self.workers):
+            try:
+                for future in futures:
+                    report = future.result()
+                    if report[0] == "error":
+                        _, message, remote_tb, pid, seconds = report
+                        self.stats.record(pid, seconds)
+                        raise WorkerTaskError(
+                            f"worker task failed: {message}", remote_tb)
+                    _, value, pid, seconds = report
+                    self.stats.record(pid, seconds)
+                    results.append(value)
+            except BrokenProcessPool as exc:
+                raise WorkerCrashError(
+                    "a worker process died before finishing its task "
+                    "(pool is no longer usable)") from exc
+            finally:
+                for future in futures:
+                    future.cancel()
+                self.stats.wall_seconds += time.perf_counter() - started
+        return results
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (f"WorkerPool(workers={self.workers}, "
+                f"context={self.context!r}, precision={self.precision!r})")

@@ -1,0 +1,57 @@
+"""Parallel dataset construction: clip synthesis, rasterization, ILT.
+
+Building the training library (Section 4: thousands of target/mask
+pairs) is the dominant offline cost of the GAN-OPC flow: every pair
+needs a layout synthesized, rasterized to the litho grid, and run
+through a full ILT optimization for its reference mask.  Instances are
+seeded independently (``SeedSequence(seed).spawn(size)``), so the work
+is order-independent and fans cleanly across workers.
+
+Determinism: each task receives the *same* spawned child seed the
+serial dataset would use for that index, so targets and reference
+masks are bit-exact equal to serial construction — parallelism changes
+wall-clock, never data.
+
+Images travel through shared memory (targets and masks written into a
+``(2, len(indices), grid, grid)`` output segment); the only pickled
+payloads are the small clip geometries coming back for the dataset's
+layout cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..ilt.optimizer import ILTConfig, ILTOptimizer
+from ..litho.config import LithoConfig
+from .pool import attach_array, worker_engine
+from .shm import ShmSpec
+
+
+def _dataset_pair_task(slot: int, index: int, out_spec: ShmSpec,
+                       child_seed, topology, litho_config: LithoConfig,
+                       ilt_config: Optional[ILTConfig]):
+    """Build one (target, reference-mask) pair; returns the layout."""
+    from ..geometry.raster import rasterize
+    from ..layoutgen.topology import LayoutSynthesizer
+
+    rng = np.random.default_rng(child_seed)
+    layout = LayoutSynthesizer(topology).generate(
+        rng, name=f"train-{index:04d}")
+    target = (rasterize(layout, litho_config.grid) >= 0.5).astype(float)
+    optimizer = ILTOptimizer(litho_config, ilt_config,
+                             engine=worker_engine(litho_config))
+    result = optimizer.optimize(target)
+    out = attach_array(out_spec)
+    out[0, slot] = target
+    out[1, slot] = result.mask
+    return (slot, index, layout)
+
+
+def _benchmark_clip_task(clip_id: int, litho_config: LithoConfig,
+                         tolerance: float):
+    """Synthesize one ICCAD-13 substitute clip (pure geometry)."""
+    from ..bench.iccad13 import make_clip
+    return make_clip(clip_id, litho_config, tolerance)

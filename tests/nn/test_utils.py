@@ -58,3 +58,43 @@ class TestParameterSummary:
         assert "0.weight" in summary
         assert "total" in summary
         assert str(net.num_parameters()) in summary
+
+
+class TestToDtype:
+    def _model(self):
+        return nn.Sequential(nn.Conv2d(1, 2, 3, padding=1),
+                             nn.BatchNorm2d(2), nn.ReLU())
+
+    def test_casts_parameters_buffers_and_grads(self):
+        model = self._model()
+        for p in model.parameters():
+            p.grad = np.zeros_like(p.data)
+        nn.to_dtype(model, np.float32)
+        for p in model.parameters():
+            assert p.data.dtype == np.float32
+            assert p.grad.dtype == np.float32
+        bn = model.layers[1]
+        assert bn.running_mean.dtype == np.float32
+        # The instance attribute and the registered buffer must be the
+        # same array (BatchNorm forward reads the attribute).
+        assert bn.running_mean is bn._buffers["running_mean"]
+
+    def test_forward_stays_in_float32(self):
+        model = self._model()
+        model.eval()
+        nn.to_dtype(model, np.float32)
+        out = model(nn.Tensor(np.zeros((1, 1, 4, 4), dtype=np.float32)))
+        assert out.data.dtype == np.float32
+
+    def test_roundtrip_preserves_values(self, rng):
+        model = self._model()
+        reference = [p.data.copy() for p in model.parameters()]
+        nn.to_dtype(model, np.float32)
+        nn.to_dtype(model, np.float64)
+        for p, ref in zip(model.parameters(), reference):
+            assert p.data.dtype == np.float64
+            np.testing.assert_allclose(p.data, ref, rtol=1e-7)
+
+    def test_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            nn.to_dtype(self._model(), np.int32)

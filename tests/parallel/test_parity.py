@@ -1,0 +1,161 @@
+"""Parallel execution must not change results.
+
+Float64 runs are **bit-exact** against the serial code path (ILT is
+noise-free descent on identical inputs); f32 runs carry the documented
+precision tolerance (DESIGN.md §10): litho error within 1e-3 relative
+of the f64 result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GanOpcConfig, GanOpcFlow, MaskGenerator
+from repro.ilt import ILTConfig
+from repro.ilt.batched import BatchedILTOptimizer
+from repro.layoutgen import SyntheticDataset
+from repro.litho import LithoConfig, LithoEngine, build_kernels
+from repro.parallel import parallel_batched_ilt, parallel_ilt, shard_bounds
+
+GRID = 32
+ITERS = 10
+
+
+@pytest.fixture(scope="module")
+def litho():
+    return LithoConfig.small(GRID)
+
+
+@pytest.fixture(scope="module")
+def targets(litho):
+    rng = np.random.default_rng(5)
+    return (rng.random((4, GRID, GRID)) > 0.75).astype(float)
+
+
+@pytest.fixture(scope="module")
+def ilt_config():
+    return ILTConfig(max_iterations=ITERS)
+
+
+class TestParallelILTParity:
+    def test_f64_bit_exact(self, litho, targets, ilt_config):
+        serial = parallel_ilt(targets, litho, ilt_config, workers=1)
+        parallel = parallel_ilt(targets, litho, ilt_config, workers=2)
+        assert parallel.workers == 2
+        for s, p in zip(serial.results, parallel.results):
+            np.testing.assert_array_equal(p.mask, s.mask)
+            np.testing.assert_array_equal(p.mask_relaxed, s.mask_relaxed)
+            np.testing.assert_array_equal(p.params, s.params)
+            assert p.l2 == s.l2
+            assert p.l2_history == s.l2_history
+            assert p.relaxed_history == s.relaxed_history
+            assert p.iterations == s.iterations
+            assert p.converged == s.converged
+
+    def test_warm_start_bit_exact(self, litho, targets, ilt_config):
+        initial = np.clip(targets + 0.25, 0.0, 1.0)
+        serial = parallel_ilt(targets, litho, ilt_config, workers=1,
+                              initial_masks=initial)
+        parallel = parallel_ilt(targets, litho, ilt_config, workers=2,
+                                initial_masks=initial)
+        np.testing.assert_array_equal(parallel.masks, serial.masks)
+
+    def test_f32_parallel_matches_f32_serial(self, litho, targets,
+                                             ilt_config):
+        serial = parallel_ilt(targets, litho, ilt_config, workers=1,
+                              precision="f32")
+        parallel = parallel_ilt(targets, litho, ilt_config, workers=2,
+                                precision="f32")
+        np.testing.assert_array_equal(parallel.masks, serial.masks)
+        np.testing.assert_array_equal(parallel.l2, serial.l2)
+
+    def test_f32_litho_error_within_tolerance(self, litho, targets,
+                                              ilt_config):
+        """The documented f32 tolerance: final relaxed litho error
+        within 1e-3 relative of the f64 run's."""
+        run64 = parallel_ilt(targets, litho, ilt_config, workers=1)
+        run32 = parallel_ilt(targets, litho, ilt_config, workers=2,
+                             precision="f32")
+        engine = LithoEngine.for_kernels(build_kernels(litho))
+        relaxed64 = np.stack([r.mask_relaxed for r in run64.results])
+        relaxed32 = np.stack([r.mask_relaxed for r in run32.results])
+        err64 = engine.litho_error(relaxed64, targets)
+        err32 = engine.litho_error(relaxed32, targets)
+        delta = np.abs(err32 - err64) / np.maximum(err64, 1.0)
+        assert delta.max() <= 1e-3, delta
+
+    def test_pool_stats_populated(self, litho, targets, ilt_config):
+        result = parallel_ilt(targets, litho, ilt_config, workers=2)
+        assert result.pool_stats is not None
+        assert result.pool_stats.tasks == len(targets)
+        assert result.runtime_seconds > 0.0
+
+
+class TestParallelBatchedILTParity:
+    def test_shard_bounds_cover_range(self):
+        for n in (1, 4, 7, 10):
+            for shards in (1, 2, 3, 5, 12):
+                bounds = shard_bounds(n, shards)
+                covered = [i for start, stop in bounds
+                           for i in range(start, stop)]
+                assert covered == list(range(n))
+
+    def test_f64_masks_and_l2_bit_exact(self, litho, targets, ilt_config):
+        serial = BatchedILTOptimizer(litho, ilt_config).optimize(targets)
+        parallel = parallel_batched_ilt(targets, litho, ilt_config,
+                                        workers=2)
+        np.testing.assert_array_equal(parallel.masks, serial.masks)
+        np.testing.assert_array_equal(parallel.l2, serial.l2)
+        assert parallel.iterations == serial.iterations
+        np.testing.assert_allclose(parallel.relaxed_history,
+                                   serial.relaxed_history, rtol=1e-12)
+
+    def test_batched_optimizer_workers_kwarg(self, litho, targets,
+                                             ilt_config):
+        optimizer = BatchedILTOptimizer(litho, ilt_config)
+        serial = optimizer.optimize(targets)
+        parallel = optimizer.optimize(targets, workers=2)
+        np.testing.assert_array_equal(parallel.masks, serial.masks)
+
+
+class TestDatasetParity:
+    def test_precompute_parallel_bit_exact(self, litho):
+        ilt_config = ILTConfig(max_iterations=6)
+        kwargs = dict(size=3, seed=11, ilt_config=ilt_config)
+        serial = SyntheticDataset(litho, **kwargs)
+        serial.precompute()
+        parallel = SyntheticDataset(litho, **kwargs)
+        parallel.precompute(workers=2)
+        for i in range(3):
+            np.testing.assert_array_equal(parallel.target(i),
+                                          serial.target(i))
+            np.testing.assert_array_equal(parallel.reference_mask(i),
+                                          serial.reference_mask(i))
+            assert parallel.layout(i).rects == serial.layout(i).rects
+
+    def test_precompute_parallel_skips_cached(self, litho):
+        dataset = SyntheticDataset(litho, size=2, seed=11,
+                                   ilt_config=ILTConfig(max_iterations=4))
+        dataset.precompute()
+        masks = [dataset.reference_mask(i).copy() for i in range(2)]
+        dataset.precompute(workers=2)  # everything cached: no-op
+        for i in range(2):
+            np.testing.assert_array_equal(dataset.reference_mask(i),
+                                          masks[i])
+
+
+class TestFlowParity:
+    def test_optimize_batch_parallel_bit_exact(self, litho, targets):
+        config = GanOpcConfig.small(GRID)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(2))
+        generator.eval()
+        flow = GanOpcFlow(generator, litho,
+                          ILTConfig(max_iterations=6, patience=4))
+        serial = flow.optimize_batch(targets)
+        parallel = flow.optimize_batch(targets, workers=2)
+        assert len(parallel) == len(serial)
+        for s, p in zip(serial, parallel):
+            np.testing.assert_array_equal(p.generated_mask, s.generated_mask)
+            np.testing.assert_array_equal(p.mask, s.mask)
+            assert p.l2 == s.l2
+            assert p.ilt_result.iterations == s.ilt_result.iterations

@@ -1,0 +1,82 @@
+"""Worker pool semantics: ordering, error surfacing, crash handling."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel import (SharedArray, WorkerCrashError, WorkerPool,
+                            WorkerTaskError, worker_state)
+
+
+# Task functions must be module-level to be picklable.
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise ValueError(f"bad item {x}")
+
+
+def _die():
+    os._exit(3)
+
+
+def _read_state(offset):
+    return worker_state()["base"] + offset
+
+
+def _write_slot(index, spec, value):
+    from repro.parallel import attach_array
+    attach_array(spec)[index] = value
+    return index
+
+
+class TestWorkerPool:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_map_preserves_submission_order(self):
+        with WorkerPool(2) as pool:
+            results = pool.map(_square, [(i,) for i in range(10)])
+        assert results == [i * i for i in range(10)]
+
+    def test_task_exception_surfaces_with_remote_traceback(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerTaskError) as excinfo:
+                pool.map(_fail, [(7,)])
+        assert "ValueError" in str(excinfo.value)
+        assert "bad item 7" in str(excinfo.value)
+        assert "Traceback" in excinfo.value.remote_traceback
+
+    def test_worker_crash_raises_instead_of_hanging(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(WorkerCrashError):
+                pool.map(_die, [() for _ in range(4)])
+
+    def test_broadcast_state_reaches_workers(self):
+        with WorkerPool(2, state={"base": 100}) as pool:
+            results = pool.map(_read_state, [(i,) for i in range(4)])
+        assert results == [100, 101, 102, 103]
+
+    def test_tasks_write_shared_output(self):
+        with SharedArray.create((6,), np.float64) as shared:
+            with WorkerPool(2) as pool:
+                pool.map(_write_slot,
+                         [(i, shared.spec, float(10 * i)) for i in range(6)])
+            np.testing.assert_array_equal(shared.array,
+                                          [0.0, 10.0, 20.0, 30.0, 40.0, 50.0])
+
+    def test_stats_accounting(self):
+        with WorkerPool(2) as pool:
+            pool.map(_square, [(i,) for i in range(8)])
+            stats = pool.stats
+        assert stats.tasks == 8
+        assert stats.workers == 2
+        assert stats.wall_seconds > 0.0
+        assert sum(stats.task_counts.values()) == 8
+        assert stats.total_busy_seconds >= 0.0
+        table = stats.format_table()
+        assert "worker pid" in table
+        assert "total" in table
