@@ -180,6 +180,60 @@ def test_f32_forward_at_least_1p3x_f64():
     assert speedup >= 1.3
 
 
+def _corner_grid(config):
+    """C=4 corner stack (2 defocus x 2 dose) and the per-defocus nominal
+    engines a per-corner loop would have to use."""
+    from dataclasses import replace
+
+    from repro.litho import ConditionSet
+
+    conditions = ConditionSet.grid(defocuses=(0.0, 40.0),
+                                   doses=(0.98, 1.02))
+    per_defocus = {
+        defocus: LithoEngine.for_kernels(build_kernels(
+            replace(config, optics=replace(config.optics, defocus=defocus))))
+        for defocus in conditions.defocuses
+    }
+    return conditions, per_defocus
+
+
+def test_condition_stack_at_least_1p3x_per_corner_loop():
+    """Condition-stack acceptance bar: one stacked ``condition_aerial``
+    over a C=4 (2 defocus x 2 dose) corner grid must be at least 1.3x
+    looping per-corner forwards on per-defocus nominal engines
+    (64 px, batch 8).  The stack shares the mask spectrum and the dose
+    axis, so 4 corners cost ~2 forwards."""
+    from repro.bench.record import measure
+
+    grid, batch = 64, 8
+    config = LithoConfig.small(grid)
+    conditions, per_defocus = _corner_grid(config)
+    stacked = LithoEngine.for_conditions(
+        per_defocus[0.0].kernels, conditions)
+    masks = _mask_batch(grid, batch)
+
+    def stacked_forward():
+        return stacked.condition_aerial(masks)
+
+    def per_corner_loop():
+        for corner in conditions:
+            per_defocus[corner.defocus].aerial(masks) * corner.dose
+
+    t_stacked = measure(stacked_forward, repeats=7)
+    t_loop = measure(per_corner_loop, repeats=7)
+    speedup = t_loop / t_stacked
+    print(f"\nstacked C=4 forward {t_stacked * 1e3:.1f} ms vs per-corner "
+          f"loop {t_loop * 1e3:.1f} ms -> {speedup:.2f}x")
+    assert speedup >= 1.3
+
+    # Same physics: each stacked corner slab equals the looped corner.
+    corner_stack = stacked.condition_aerial(masks)
+    for c, corner in enumerate(conditions):
+        ref = per_defocus[corner.defocus].aerial(masks) * corner.dose
+        np.testing.assert_allclose(corner_stack[:, c], ref,
+                                   rtol=1e-12, atol=1e-12)
+
+
 def test_parallel_ilt_at_least_2x_serial():
     """Parallel layer acceptance bar: per-clip ILT fanned across 4
     workers must be at least 2x the serial loop.  Only meaningful with
@@ -244,6 +298,33 @@ def test_write_bench_substrate_record():
             lambda: engine32.error_and_gradient_wrt_mask(masks, targets),
             grid=grid, batch=batch)
 
+    # Condition-stack throughput: C=4 corners (2 defocus x 2 dose)
+    # through one stacked forward/adjoint, plus the per-corner loop it
+    # replaces (per-defocus nominal engines), so the stacking win stays
+    # visible in the record.
+    config = LithoConfig.small(grid)
+    conditions, per_defocus = _corner_grid(config)
+    stacked = LithoEngine.for_conditions(per_defocus[0.0].kernels,
+                                         conditions)
+    for batch in (1, 8):
+        masks = _mask_batch(grid, batch)
+        targets = _target_batch(grid, batch)
+        recorder.timeit(
+            f"engine_condition_forward/grid{grid}/batch{batch}/corners4",
+            lambda: stacked.condition_aerial(masks),
+            grid=grid, batch=batch, corners=4)
+        recorder.timeit(
+            f"engine_condition_gradient/grid{grid}/batch{batch}/corners4",
+            lambda: stacked.condition_error_and_gradient_wrt_mask(
+                masks, targets, objective="weighted"),
+            grid=grid, batch=batch, corners=4)
+        recorder.timeit(
+            f"engine_condition_loop_forward/grid{grid}/batch{batch}"
+            f"/corners4",
+            lambda: [per_defocus[c.defocus].aerial(masks) * c.dose
+                     for c in conditions],
+            grid=grid, batch=batch, corners=4)
+
     # Serial vs multiprocess per-clip ILT.  The parallel entry is only
     # recorded when there are real cores to fan across, so the checked-in
     # record stays comparable across machines.
@@ -297,6 +378,10 @@ def test_write_bench_substrate_record():
     assert f"engine_forward/grid{grid}/batch8" in entries
     assert f"engine_gradient/grid{grid}/batch1" in entries
     assert f"engine_forward_f32/grid{grid}/batch8" in entries
+    assert f"engine_condition_forward/grid{grid}/batch8/corners4" in entries
+    assert f"engine_condition_gradient/grid{grid}/batch1/corners4" in entries
+    assert (f"engine_condition_loop_forward/grid{grid}/batch8/corners4"
+            in entries)
     assert f"serial_ilt/grid{ilt_grid}/batch{ilt_batch}" in entries
     assert f"flow_generation/grid{flow_grid}" in entries
     for name, entry in entries.items():

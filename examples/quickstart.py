@@ -31,16 +31,19 @@ GRID = 64
 OUT = os.path.join(os.path.dirname(__file__), "output", "quickstart")
 
 
-def main():
-    litho = LithoConfig.small(GRID)
+def main(grid: int = GRID, mb_iterations: int = 8, ilt_iterations: int = 150,
+         pretrain_iterations: int = 100, refine_iterations: int = 120,
+         dataset_size: int = 12, out_dir: str = OUT) -> dict:
+    litho = LithoConfig.small(grid)
     kernels = build_kernels(litho)
     simulator = LithoSimulator(litho, kernels)
 
     # 1. A clip to optimize.
-    synthesizer = LayoutSynthesizer(TopologyConfig(extent=litho.extent_nm,
-                                                   margin=60.0))
+    synthesizer = LayoutSynthesizer(
+        TopologyConfig(extent=litho.extent_nm,
+                       margin=min(60.0, litho.extent_nm / 8.0)))
     clip = synthesizer.generate(np.random.default_rng(5), name="quickstart")
-    target = binarize(rasterize(clip, GRID))
+    target = binarize(rasterize(clip, grid))
     print(f"clip: {len(clip)} shapes, {clip.pattern_area:.0f} nm^2 pattern")
 
     results = {}
@@ -50,14 +53,16 @@ def main():
                                       layout=clip, name="no-OPC")
 
     # 3. Model-based OPC.
-    mb = ModelBasedOPC(litho, MbOpcConfig(iterations=8), kernels=kernels)
+    mb = ModelBasedOPC(litho, MbOpcConfig(iterations=mb_iterations),
+                       kernels=kernels)
     mb_result = mb.optimize(clip)
     results["MB-OPC"] = evaluate_mask(
         simulator, mb_result.mask, target, layout=clip, name="MB-OPC",
         runtime_seconds=mb_result.runtime_seconds)
 
     # 4. ILT from scratch.
-    ilt = ILTOptimizer(litho, ILTConfig(max_iterations=150), kernels=kernels)
+    ilt = ILTOptimizer(litho, ILTConfig(max_iterations=ilt_iterations),
+                       kernels=kernels)
     ilt_result = ilt.optimize(target)
     results["ILT"] = evaluate_mask(
         simulator, ilt_result.mask, target, layout=clip, name="ILT",
@@ -66,15 +71,17 @@ def main():
     # 5. GAN-OPC: lithography-guided pre-training on a small synthetic
     #    library, then generate + refine.  (A real deployment trains
     #    Algorithm 1 on top — see train_gan_opc.py.)
-    config = GanOpcConfig.small(GRID)
+    config = GanOpcConfig.small(grid)
     generator = MaskGenerator(config.generator_channels,
                               rng=np.random.default_rng(0))
-    dataset = SyntheticDataset(litho, size=12, seed=1, kernels=kernels)
+    dataset = SyntheticDataset(litho, size=dataset_size, seed=1,
+                               kernels=kernels)
     print("pre-training the generator with lithography guidance ...")
     ILTGuidedPretrainer(generator, litho, config, kernels=kernels).train(
-        dataset, iterations=100, rng=np.random.default_rng(2))
+        dataset, iterations=pretrain_iterations,
+        rng=np.random.default_rng(2))
     flow = GanOpcFlow(generator, litho,
-                      ILTConfig(max_iterations=120, patience=8),
+                      ILTConfig(max_iterations=refine_iterations, patience=8),
                       kernels=kernels)
     flow_result = flow.optimize(target)
     results["GAN-OPC"] = evaluate_mask(
@@ -89,13 +96,14 @@ def main():
         print(f"{name:10s} {ev.l2_nm2:10.0f} {ev.pvband_nm2:11.0f} "
               f"{ev.epe_violations:9d} {rt}")
 
-    os.makedirs(OUT, exist_ok=True)
-    write_pgm(target, os.path.join(OUT, "target.pgm"))
-    write_pgm(ilt_result.mask, os.path.join(OUT, "ilt_mask.pgm"))
-    write_pgm(flow_result.mask, os.path.join(OUT, "ganopc_mask.pgm"))
+    os.makedirs(out_dir, exist_ok=True)
+    write_pgm(target, os.path.join(out_dir, "target.pgm"))
+    write_pgm(ilt_result.mask, os.path.join(out_dir, "ilt_mask.pgm"))
+    write_pgm(flow_result.mask, os.path.join(out_dir, "ganopc_mask.pgm"))
     write_pgm(simulator.wafer_image(flow_result.mask),
-              os.path.join(OUT, "ganopc_wafer.pgm"))
-    print(f"\nimages written to {OUT}/")
+              os.path.join(out_dir, "ganopc_wafer.pgm"))
+    print(f"\nimages written to {out_dir}/")
+    return results
 
 
 if __name__ == "__main__":

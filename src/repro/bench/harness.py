@@ -33,6 +33,7 @@ from ..core.pretrain import ILTGuidedPretrainer, PretrainHistory
 from ..geometry.raster import rasterize
 from ..ilt.optimizer import ILTConfig, ILTOptimizer
 from ..layoutgen.dataset import SyntheticDataset
+from ..litho.conditions import ConditionSet
 from ..litho.config import LithoConfig
 from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
@@ -213,31 +214,87 @@ class Table2Result:
         b = self.averages(baseline)
         return tuple(x / y for x, y in zip(m, b))
 
+    @property
+    def has_window_metrics(self) -> bool:
+        """True when the run evaluated a process-window corner stack."""
+        evals = next(iter(self.columns.values()))
+        return bool(evals) and evals[0].window_pvband_nm2 is not None
+
+    def window_averages(self, method: str) -> Optional[Dict[str, float]]:
+        """Mean window PVB / worst-corner L2 (nm^2) for ``method``, or
+        ``None`` when the run carried no corner stack."""
+        if not self.has_window_metrics:
+            return None
+        evals = self.columns[method]
+        return {
+            "window_pvband_nm2": float(np.mean(
+                [e.window_pvband_nm2 for e in evals])),
+            "worst_corner_l2_nm2": float(np.mean(
+                [e.worst_corner_l2_nm2 for e in evals])),
+        }
+
+    def window_table(self) -> str:
+        """Table 2 companion: per-method window PVB / worst-corner
+        L2 / worst-corner EPE averages over the corner stack."""
+        if not self.has_window_metrics:
+            return ""
+        lines = [f"{'method':<12} {'winPVB(nm2)':>14} {'worstL2(nm2)':>14} "
+                 f"{'worstEPE':>9}"]
+        for method, evals in self.columns.items():
+            avg = self.window_averages(method)
+            epes = [e.worst_corner_epe for e in evals
+                    if e.worst_corner_epe is not None]
+            epe = f"{float(np.mean(epes)):9.1f}" if epes else " " * 9
+            lines.append(f"{method:<12} {avg['window_pvband_nm2']:14.1f} "
+                         f"{avg['worst_corner_l2_nm2']:14.1f} {epe}")
+        return "\n".join(lines)
+
 
 def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
                clips: Optional[List[BenchmarkClip]] = None,
-               workers: int = 1) -> Table2Result:
+               workers: int = 1,
+               conditions: Optional[ConditionSet] = None,
+               pw_objective: str = "nominal") -> Table2Result:
     """ILT [7] vs GAN-OPC vs PGAN-OPC on the substitute suite.
 
     ``workers > 1`` evaluates one clip (all three methods) per worker
     process: generator weights are broadcast once per worker, result
     masks come back through shared memory, and per-clip results are
     identical to the serial loop in float64.
+
+    ``conditions`` adds a process-window corner stack: every mask is
+    additionally evaluated over the corners (window PVB, worst-corner
+    L2/EPE columns), and when ``pw_objective`` is not ``"nominal"`` the
+    optimizers also *descend* that corner aggregation instead of the
+    nominal-only objective.
     """
     cfg = pipeline.config
     clips = clips or iccad13_suite(pipeline.litho)
     if workers > 1:
-        return _run_table2_parallel(pipeline, generators, clips, workers)
+        return _run_table2_parallel(pipeline, generators, clips, workers,
+                                    conditions=conditions,
+                                    pw_objective=pw_objective)
 
+    condition_engine = (LithoEngine.for_conditions(pipeline.kernels,
+                                                   conditions,
+                                                   pipeline.engine.precision)
+                        if conditions is not None else None)
+    # With a nominal objective the corner stack is reporting-only: the
+    # optimizers keep descending the paper's nominal error.
+    descend_conditions = conditions if pw_objective != "nominal" else None
     ilt = ILTOptimizer(pipeline.litho,
-                       ILTConfig(max_iterations=cfg.ilt_iterations),
-                       engine=pipeline.engine)
-    refine_cfg = ILTConfig(max_iterations=cfg.refine_iterations, patience=4)
+                       ILTConfig(max_iterations=cfg.ilt_iterations,
+                                 pw_objective=pw_objective),
+                       engine=pipeline.engine, conditions=descend_conditions)
+    refine_cfg = ILTConfig(max_iterations=cfg.refine_iterations, patience=4,
+                           pw_objective=pw_objective)
     flows = {
         "GAN-OPC": GanOpcFlow(generators.gan, pipeline.litho, refine_cfg,
-                              engine=pipeline.engine),
+                              engine=pipeline.engine,
+                              conditions=descend_conditions),
         "PGAN-OPC": GanOpcFlow(generators.pgan, pipeline.litho, refine_cfg,
-                               engine=pipeline.engine),
+                               engine=pipeline.engine,
+                               conditions=descend_conditions),
     }
 
     columns: Dict[str, List[MaskEvaluation]] = {
@@ -255,7 +312,8 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
         ilt_runtime = time.perf_counter() - start
         columns["ILT"].append(evaluate_mask(
             pipeline.simulator, ilt_result.mask, target, layout=clip.layout,
-            name=clip.name, runtime_seconds=ilt_runtime))
+            name=clip.name, runtime_seconds=ilt_runtime,
+            condition_engine=condition_engine))
         masks["ILT"].append(ilt_result.mask)
         stage_seconds["ILT"].append(
             {"generation": 0.0, "refinement": ilt_runtime})
@@ -265,7 +323,8 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
             columns[method].append(evaluate_mask(
                 pipeline.simulator, flow_result.mask, target,
                 layout=clip.layout, name=clip.name,
-                runtime_seconds=flow_result.runtime_seconds))
+                runtime_seconds=flow_result.runtime_seconds,
+                condition_engine=condition_engine))
             masks[method].append(flow_result.mask)
             stage_seconds[method].append(
                 {"generation": flow_result.generation_seconds,
@@ -279,7 +338,9 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
 
 def _run_table2_parallel(pipeline: Pipeline, generators: TrainedGenerators,
                          clips: List[BenchmarkClip],
-                         workers: int) -> Table2Result:
+                         workers: int,
+                         conditions: Optional[ConditionSet] = None,
+                         pw_objective: str = "nominal") -> Table2Result:
     """Clip-parallel Table 2: one task evaluates all methods on a clip."""
     from ..parallel.flow import _table2_clip_task, generator_payload
     from ..parallel.pool import WorkerPool
@@ -299,7 +360,8 @@ def _run_table2_parallel(pipeline: Pipeline, generators: TrainedGenerators,
             reports = pool.map(
                 _table2_clip_task,
                 [(slot, shared_masks.spec, cfg.grid, pipeline.litho,
-                  cfg.ilt_iterations, cfg.refine_iterations)
+                  cfg.ilt_iterations, cfg.refine_iterations, conditions,
+                  pw_objective)
                  for slot in range(len(clips))],
                 label="parallel.table2")
         all_masks = np.array(shared_masks.array, copy=True)

@@ -64,10 +64,10 @@ class BenchRecorder:
 
     def timeit(self, name: str, fn: Callable[[], object],
                grid: Optional[int] = None, batch: Optional[int] = None,
-               repeats: int = 5) -> Dict[str, float]:
+               repeats: int = 5, **extra: float) -> Dict[str, float]:
         """Measure ``fn`` with :func:`measure` and record the result."""
         return self.add(name, measure(fn, repeats=repeats),
-                        grid=grid, batch=batch)
+                        grid=grid, batch=batch, **extra)
 
     def to_dict(self) -> dict:
         return {

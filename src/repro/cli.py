@@ -57,6 +57,24 @@ def _litho(args):
     return LithoConfig.small(args.grid)
 
 
+def _conditions(args, litho):
+    """Parse ``--corners`` into a :class:`ConditionSet` (or ``None``).
+
+    Accepts the presets (``nominal``/``dose``/``window``) and explicit
+    ``defocus:dose[:weight]`` comma lists; the dose presets use the
+    litho config's ``dose_variation``.
+    """
+    if not getattr(args, "corners", None):
+        return None
+    from .litho import ConditionSet
+    try:
+        return ConditionSet.parse(args.corners,
+                                  dose_variation=litho.dose_variation)
+    except ValueError as exc:
+        print(f"error: --corners {args.corners!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _engine(litho, precision=None):
     """One shared engine per CLI invocation.
 
@@ -173,8 +191,11 @@ def cmd_train(args) -> int:
         return 2
     litho = _litho(args)
     engine = _engine(litho, args.precision)
+    conditions = _conditions(args, litho)
     config = replace(GanOpcConfig.small(litho.grid),
-                     batch_size=args.batch_size, seed=args.seed)
+                     batch_size=args.batch_size, seed=args.seed,
+                     litho_weight=args.litho_weight,
+                     pw_objective=args.pw_objective)
     dataset = SyntheticDataset(litho, size=args.dataset_size,
                                seed=args.seed, kernels=engine.kernels)
     generator = MaskGenerator(config.generator_channels,
@@ -204,7 +225,8 @@ def cmd_train(args) -> int:
     with _trace_to(args.trace_dir, "train"):
         if args.phase in ("pretrain", "both"):
             pretrainer = ILTGuidedPretrainer(generator, litho, config,
-                                             engine=engine)
+                                             engine=engine,
+                                             conditions=conditions)
             history = pretrainer.train(dataset, args.iterations,
                                        verbose=args.verbose,
                                        runtime=runtime("pretrain"))
@@ -217,7 +239,9 @@ def cmd_train(args) -> int:
             discriminator = PairDiscriminator(
                 litho.grid, config.discriminator_channels,
                 rng=np.random.default_rng(args.seed + 1))
-            trainer = GanOpcTrainer(generator, discriminator, config)
+            trainer = GanOpcTrainer(generator, discriminator, config,
+                                    litho_config=litho, engine=engine,
+                                    conditions=conditions)
             history = trainer.train(dataset, args.iterations,
                                     verbose=args.verbose,
                                     runtime=runtime("gan"))
@@ -242,6 +266,7 @@ def cmd_flow(args) -> int:
 
     litho = _litho(args)
     engine = _engine(litho, args.precision)
+    conditions = _conditions(args, litho)
     layout, target = _load_target(args.clip, litho.grid)
     config = GanOpcConfig.small(litho.grid)
     generator = MaskGenerator(config.generator_channels,
@@ -253,18 +278,26 @@ def cmd_flow(args) -> int:
         logger = RunLogger(os.path.join(args.telemetry_dir, "flow.jsonl"),
                            "flow", append=True)
     flow = GanOpcFlow(generator, litho,
-                      ILTConfig(max_iterations=args.iterations, patience=4),
-                      engine=engine, logger=logger)
+                      ILTConfig(max_iterations=args.iterations, patience=4,
+                                pw_objective=args.pw_objective),
+                      engine=engine, logger=logger, conditions=conditions)
     with _trace_to(args.trace_dir, "flow") as tracer:
         result = flow.optimize(target)
         if tracer is not None and logger is not None:
             logger.span_summary(tracer.summary(),
                                 wall_seconds=tracer.wall_seconds(),
                                 coverage=tracer.coverage())
+    condition_engine = None
+    if conditions is not None:
+        from .litho import LithoEngine
+        condition_engine = LithoEngine.for_conditions(engine.kernels,
+                                                      conditions,
+                                                      engine.precision)
     evaluation = evaluate_mask(LithoSimulator(litho, engine=engine),
                                result.mask, target,
                                layout=layout, name=layout.name or "clip",
-                               runtime_seconds=result.runtime_seconds)
+                               runtime_seconds=result.runtime_seconds,
+                               condition_engine=condition_engine)
     print(f"generation: {result.generation_seconds:.3f}s, "
           f"refinement: {result.refinement_seconds:.3f}s "
           f"({result.ilt_result.iterations} steps)")
@@ -371,18 +404,25 @@ def cmd_table2(args) -> int:
               "medium": ExperimentConfig.medium,
               "full": ExperimentConfig}[args.scale]()
     pipeline = Pipeline.build(config, precision=args.precision)
+    conditions = _conditions(args, pipeline.litho)
     print(f"training generators at scale {args.scale!r} "
           f"(grid {config.grid}px) ...")
     if args.workers > 1:
         pipeline.dataset.precompute(workers=args.workers)
     generators = train_generators(pipeline, verbose=args.verbose)
-    result = run_table2(pipeline, generators, workers=args.workers)
+    result = run_table2(pipeline, generators, workers=args.workers,
+                        conditions=conditions,
+                        pw_objective=args.pw_objective)
     print(result.table)
     print("per-stage runtime (mean seconds per clip):")
     for method in ("ILT", "GAN-OPC", "PGAN-OPC"):
         stages = result.stage_averages(method)
         print(f"  {method:>9}: generation {stages['generation']:8.3f}s   "
               f"refinement {stages['refinement']:8.3f}s")
+    if result.has_window_metrics:
+        print(f"process window ({conditions.describe()}, "
+              f"objective {args.pw_objective!r}):")
+        print(result.window_table())
     return 0
 
 
@@ -397,6 +437,20 @@ def _add_workers(p) -> None:
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for parallelizable stages "
                         "(default: 1, serial)")
+
+
+def _add_corners(p, default_objective: str = "nominal") -> None:
+    choices = ("nominal", "weighted", "worst")
+    if default_objective != "nominal":
+        choices = ("weighted", "worst")
+    p.add_argument("--corners", default=None,
+                   help="process-window corner stack: a preset "
+                        "(nominal/dose/window) or an explicit "
+                        "'defocus:dose[:weight],...' list")
+    p.add_argument("--pw-objective", choices=choices,
+                   default=default_objective,
+                   help="corner aggregation the optimizers descend "
+                        f"(default: {default_objective})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -467,9 +521,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-dir",
                    help="capture span traces (Chrome trace JSON + JSONL "
                         "stream) under this directory")
+    p.add_argument("--litho-weight", type=float, default=0.0,
+                   help="weight of the litho-guidance term in GAN "
+                        "generator updates (0 disables it)")
     p.add_argument("--verbose", action="store_true")
     _add_precision(p)
     _add_workers(p)
+    _add_corners(p, default_objective="weighted")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("flow", help="GAN-OPC flow with a trained generator")
@@ -484,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "stream) under this directory")
     p.add_argument("--out", default="mask.pgm")
     _add_precision(p)
+    _add_corners(p)
     p.set_defaults(func=cmd_flow)
 
     p = sub.add_parser(
@@ -509,6 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verbose", action="store_true")
     _add_precision(p)
     _add_workers(p)
+    _add_corners(p)
     p.set_defaults(func=cmd_table2)
 
     return parser

@@ -48,6 +48,16 @@ class GanOpcConfig:
         in DESIGN.md — the min-max structure of Eq. 10 is unchanged).
     label_smoothing:
         Real-label smoothing for discriminator stability (0 disables).
+    litho_weight:
+        Weight of the corner-aggregated lithography error added to the
+        generator objective during adversarial training (0 disables —
+        the paper's Algorithm 1).  With a weight, the trainer injects
+        the analytic litho gradient (averaged or maxed over its
+        condition stack) alongside the adversarial/regression backward
+        pass, making the generator corner-robust.
+    pw_objective:
+        Corner aggregation for the litho term: ``"weighted"`` (corner
+        weights, normalized) or ``"worst"`` (per-sample worst corner).
     seed:
         Seed for weight initialization and batch sampling.
     """
@@ -62,6 +72,8 @@ class GanOpcConfig:
     batch_size: int = 4
     discriminator_loss: str = "bce"
     label_smoothing: float = 0.1
+    litho_weight: float = 0.0
+    pw_objective: str = "weighted"
     seed: int = 0
 
     def __post_init__(self):
@@ -79,6 +91,12 @@ class GanOpcConfig:
                 f"unknown discriminator_loss {self.discriminator_loss!r}")
         if not 0.0 <= self.label_smoothing < 0.5:
             raise ValueError("label_smoothing must be in [0, 0.5)")
+        if self.litho_weight < 0:
+            raise ValueError("litho_weight must be nonnegative")
+        if self.pw_objective not in ("weighted", "worst"):
+            raise ValueError(
+                f"pw_objective must be 'weighted' or 'worst', "
+                f"got {self.pw_objective!r}")
         if min(self.learning_rate_g, self.learning_rate_d,
                self.pretrain_learning_rate) <= 0:
             raise ValueError("learning rates must be positive")

@@ -19,6 +19,7 @@ import numpy as np
 from repro.obs import trace
 
 from ..ilt.optimizer import ILTConfig, ILTOptimizer, ILTResult
+from ..litho.conditions import ConditionSet
 from ..litho.config import LithoConfig
 from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
@@ -74,6 +75,11 @@ class GanOpcFlow:
         :meth:`optimize` call then emits one schema-validated ``flow``
         telemetry record with the stage wall-clocks and the
         litho-engine call counts it consumed.
+    conditions:
+        Optional process-window corner stack handed to the refiner —
+        refinement then descends the ``refine_config.pw_objective``
+        corner aggregation (default ``"weighted"`` when a stack is
+        given) instead of the nominal-only objective.
     """
 
     def __init__(self, generator: MaskGenerator,
@@ -81,7 +87,8 @@ class GanOpcFlow:
                  refine_config: Optional[ILTConfig] = None,
                  kernels: Optional[KernelSet] = None,
                  engine: Optional[LithoEngine] = None,
-                 logger: Optional[RunLogger] = None):
+                 logger: Optional[RunLogger] = None,
+                 conditions: Optional[ConditionSet] = None):
         self.generator = generator
         self.litho_config = litho_config or LithoConfig.paper()
         if engine is None:
@@ -89,10 +96,11 @@ class GanOpcFlow:
                 kernels or build_kernels(self.litho_config))
         self.engine = engine
         self.logger = logger
+        self.conditions = conditions
         self.refiner = ILTOptimizer(
             self.litho_config,
             refine_config or ILTConfig(max_iterations=50, patience=4),
-            engine=engine)
+            engine=engine, conditions=conditions)
 
     def optimize(self, target: np.ndarray,
                  refine_iterations: Optional[int] = None) -> FlowResult:
@@ -155,4 +163,5 @@ class GanOpcFlow:
                              self.refiner.config,
                              refine_iterations=refine_iterations,
                              workers=workers,
-                             precision=self.engine.precision)
+                             precision=self.engine.precision,
+                             conditions=self.conditions)

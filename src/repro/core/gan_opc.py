@@ -30,6 +30,10 @@ from repro.obs.registry import default_registry
 
 from .. import nn
 from ..layoutgen.dataset import SyntheticDataset
+from ..litho.conditions import ConditionSet
+from ..litho.config import LithoConfig
+from ..litho.engine import LithoEngine
+from ..litho.kernels import build_kernels
 from ..runtime import RunConfig, TrainingHarness
 from .config import GanOpcConfig
 from .discriminator import PairDiscriminator
@@ -62,21 +66,47 @@ class GanOpcTrainer:
         the ``D(target, mask)`` interface works — the ablation passes a
         :class:`~repro.core.discriminator.MaskOnlyDiscriminator`.
     config:
-        Hyper-parameters; ``config.alpha`` weighs the regression term.
+        Hyper-parameters; ``config.alpha`` weighs the regression term
+        and ``config.litho_weight`` the optional corner-robust litho
+        guidance term.
+    litho_config / engine / conditions:
+        Only consulted when ``config.litho_weight > 0``: the generator
+        objective gains ``litho_weight * E_pw(G(Z_t), Z_t)`` with
+        ``E_pw`` the ``config.pw_objective`` aggregation of the relaxed
+        litho error over the condition stack.  ``engine`` takes
+        precedence; otherwise one is built from ``litho_config`` (or
+        ``LithoConfig.small(config.grid)``) and ``conditions`` (default
+        nominal).  The analytic Eq. 14 gradient is injected as an
+        additional upstream gradient of the generator output, exactly
+        like Algorithm 2 pre-training.
     """
 
     def __init__(self, generator: MaskGenerator,
                  discriminator: PairDiscriminator,
-                 config: Optional[GanOpcConfig] = None):
+                 config: Optional[GanOpcConfig] = None,
+                 litho_config: Optional[LithoConfig] = None,
+                 engine: Optional[LithoEngine] = None,
+                 conditions: Optional[ConditionSet] = None):
         self.generator = generator
         self.discriminator = discriminator
         self.config = config or GanOpcConfig()
+        self._litho_engine: Optional[LithoEngine] = None
+        if self.config.litho_weight > 0:
+            if engine is None:
+                litho_config = litho_config or LithoConfig.small(
+                    self.config.grid)
+                engine = LithoEngine.for_kernels(build_kernels(litho_config))
+            if conditions is not None and engine.conditions != conditions:
+                engine = LithoEngine.for_conditions(engine.kernels,
+                                                    conditions,
+                                                    engine.precision)
+            self._litho_engine = engine
         self.optimizer_g = nn.Adam(generator.parameters(),
                                    lr=self.config.learning_rate_g)
         self.optimizer_d = nn.Adam(discriminator.parameters(),
                                    lr=self.config.learning_rate_d)
         # Per-phase step timing lands in the process-wide registry (the
-        # trainer owns no litho engine, hence no engine-scoped one).
+        # trainer owns no nominal litho engine of its own).
         self.metrics = default_registry()
 
     # ------------------------------------------------------------------
@@ -105,12 +135,35 @@ class GanOpcTrainer:
             regression = nn.mse_loss(fake, reference_t, reduction="mean")
             loss = adversarial + self.config.alpha * regression
             loss_value = float(loss.data)
+
+            # Corner-robust litho guidance: the analytic process-window
+            # gradient (Eq. 14 aggregated over the condition stack) is
+            # injected as a second upstream gradient of the generator
+            # output, the same mechanism as Algorithm 2 pre-training.
+            backward = loss.backward
+            if self._litho_engine is not None:
+                weight = self.config.litho_weight
+                cfg = self._litho_engine.config
+                with trace.span("gan.litho_gradient", batch=len(targets)):
+                    litho_errors, litho_grads = \
+                        self._litho_engine.condition_error_and_gradient_wrt_mask(
+                            fake.data[:, 0], targets[:, 0],
+                            objective=self.config.pw_objective,
+                            threshold=cfg.threshold,
+                            resist_steepness=cfg.resist_steepness)
+                loss_value += weight * float(np.mean(litho_errors))
+                upstream = (weight / len(targets)) * litho_grads[:, None]
+
+                def backward(upstream=upstream):
+                    loss.backward()
+                    fake.backward(upstream)
+
             if harness is None:
-                loss.backward()
+                backward()
                 self.optimizer_g.step()
             else:
                 harness.apply_update({"generator_loss": loss_value},
-                                     loss.backward, self.optimizer_g,
+                                     backward, self.optimizer_g,
                                      tag="generator")
         self.metrics.histogram("gan.generator_step_seconds").observe(
             time.perf_counter() - step_started)

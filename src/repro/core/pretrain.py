@@ -32,6 +32,7 @@ import numpy as np
 from repro.obs import trace
 
 from .. import nn
+from ..litho.conditions import ConditionSet
 from ..litho.config import LithoConfig
 from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
@@ -66,13 +67,20 @@ class ILTGuidedPretrainer:
         Training hyper-parameters (batch size, learning rate).
     kernels:
         Optional prebuilt kernel set.
+    conditions:
+        Optional process-window corner stack: the guiding litho error
+        becomes the ``config.pw_objective`` aggregation over the
+        corners (weighted average or per-sample worst), making the
+        pre-trained generator corner-robust.  ``None`` keeps the
+        paper's nominal-only Algorithm 2.
     """
 
     def __init__(self, generator: MaskGenerator,
                  litho_config: Optional[LithoConfig] = None,
                  config: Optional[GanOpcConfig] = None,
                  kernels: Optional[KernelSet] = None,
-                 engine: Optional[LithoEngine] = None):
+                 engine: Optional[LithoEngine] = None,
+                 conditions: Optional[ConditionSet] = None):
         self.generator = generator
         self.litho_config = litho_config or LithoConfig.paper()
         self.config = config or GanOpcConfig()
@@ -81,6 +89,11 @@ class ILTGuidedPretrainer:
                 kernels or build_kernels(self.litho_config))
         self.engine = engine
         self.kernels = engine.kernels
+        self.conditions = conditions
+        self._condition_engine = (
+            LithoEngine.for_conditions(self.kernels, conditions,
+                                       engine.precision)
+            if conditions is not None else None)
         self.optimizer = nn.Adam(generator.parameters(),
                                  lr=self.config.pretrain_learning_rate)
 
@@ -91,9 +104,18 @@ class ILTGuidedPretrainer:
         mask batch.  The generator output is already sigmoid-bounded, so
         it plays the role of the relaxed mask ``M_b`` directly.  The
         whole mini-batch goes through the engine's batched forward and
-        adjoint FFT pipeline in one call (no per-sample loop).
+        adjoint FFT pipeline in one call (no per-sample loop); with a
+        condition stack, every corner shares that same pipeline.
         """
         cfg = self.litho_config
+        if self._condition_engine is not None:
+            errors, gradients = \
+                self._condition_engine.condition_error_and_gradient_wrt_mask(
+                    masks[:, 0], targets[:, 0],
+                    objective=self.config.pw_objective,
+                    threshold=cfg.threshold,
+                    resist_steepness=cfg.resist_steepness)
+            return errors, gradients[:, None]
         errors, gradients = self.engine.error_and_gradient_wrt_mask(
             masks[:, 0], targets[:, 0], threshold=cfg.threshold,
             resist_steepness=cfg.resist_steepness)

@@ -7,13 +7,17 @@ the GAN-OPC flow: steepest descent on the relaxed lithography error
 """
 
 from .batched import BatchedILTOptimizer, BatchedILTResult
-from .gradient import (discrete_l2, litho_error_and_gradient,
+from .gradient import (condition_error_and_gradient,
+                       condition_error_and_gradient_wrt_mask, discrete_l2,
+                       litho_error_and_gradient,
                        litho_error_and_gradient_wrt_mask)
 from .optimizer import ILTConfig, ILTOptimizer, ILTResult
 
 __all__ = [
     "discrete_l2", "litho_error_and_gradient",
     "litho_error_and_gradient_wrt_mask",
+    "condition_error_and_gradient",
+    "condition_error_and_gradient_wrt_mask",
     "ILTConfig", "ILTOptimizer", "ILTResult",
     "BatchedILTOptimizer", "BatchedILTResult",
 ]

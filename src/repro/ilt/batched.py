@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.obs import trace
 
+from ..litho.conditions import ConditionSet
 from ..litho.config import LithoConfig
 from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet, build_kernels
@@ -45,12 +46,18 @@ class BatchedILTResult:
 
 
 class BatchedILTOptimizer:
-    """Steepest-descent ILT over a stack of targets at once."""
+    """Steepest-descent ILT over a stack of targets at once.
+
+    ``conditions`` / ``config.pw_objective`` select a process-window
+    objective exactly as in :class:`~repro.ilt.optimizer.ILTOptimizer`;
+    the best-discrete bookkeeping stays nominal.
+    """
 
     def __init__(self, litho_config: Optional[LithoConfig] = None,
                  config: Optional[ILTConfig] = None,
                  kernels: Optional[KernelSet] = None,
-                 engine: Optional[LithoEngine] = None):
+                 engine: Optional[LithoEngine] = None,
+                 conditions: Optional[ConditionSet] = None):
         self.litho_config = litho_config or LithoConfig.paper()
         self.config = config or ILTConfig()
         if engine is None:
@@ -59,9 +66,28 @@ class BatchedILTOptimizer:
         self.engine = engine
         self.kernels = engine.kernels
 
+        objective = self.config.pw_objective
+        if conditions is not None and objective == "nominal":
+            objective = "weighted"
+        if objective != "nominal" and conditions is None:
+            conditions = ConditionSet.dose_corners(
+                self.litho_config.dose_variation)
+        self.conditions = conditions
+        self.pw_objective = objective
+        self._condition_engine = (
+            LithoEngine.for_conditions(self.kernels, conditions,
+                                       self.engine.precision)
+            if objective != "nominal" else None)
+
     # ------------------------------------------------------------------
     def _error_and_gradient(self, params: np.ndarray, targets: np.ndarray):
         cfg = self.litho_config
+        if self._condition_engine is not None:
+            return self._condition_engine.condition_error_and_gradient(
+                params, targets, objective=self.pw_objective,
+                threshold=cfg.threshold,
+                resist_steepness=cfg.resist_steepness,
+                mask_steepness=cfg.mask_steepness)
         return self.engine.error_and_gradient(
             params, targets, threshold=cfg.threshold,
             resist_steepness=cfg.resist_steepness,
@@ -87,7 +113,7 @@ class BatchedILTOptimizer:
             return parallel_batched_ilt(
                 targets, self.litho_config, self.config, workers=workers,
                 precision=self.engine.precision,
-                max_iterations=max_iterations)
+                max_iterations=max_iterations, conditions=self.conditions)
         targets = np.asarray(targets, dtype=float)
         if targets.ndim != 3 or targets.shape[-1] != self.litho_config.grid:
             raise ValueError(

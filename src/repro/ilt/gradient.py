@@ -33,6 +33,7 @@ from typing import Tuple, Union
 
 import numpy as np
 
+from ..litho.conditions import ConditionSet
 from ..litho.engine import LithoEngine
 from ..litho.kernels import KernelSet
 
@@ -65,6 +66,37 @@ def litho_error_and_gradient(
         mask_params, target, threshold=threshold,
         resist_steepness=resist_steepness, mask_steepness=mask_steepness,
         dose=dose)
+
+
+def condition_error_and_gradient_wrt_mask(
+        mask_relaxed: np.ndarray, target: np.ndarray, kernels: KernelSet,
+        conditions: ConditionSet, threshold: float, resist_steepness: float,
+        objective: str = "weighted") -> Tuple[ErrorT, np.ndarray]:
+    """Process-window litho error/gradient w.r.t. the relaxed mask.
+
+    The corner stack is evaluated by a shared condition engine
+    (:meth:`LithoEngine.for_conditions`); ``objective`` selects the
+    corner-weight average (``"weighted"``) or the per-sample worst
+    corner (``"worst"``).  A single nominal corner reduces to
+    :func:`litho_error_and_gradient_wrt_mask` bit-exactly.
+    """
+    engine = LithoEngine.for_conditions(kernels, conditions)
+    return engine.condition_error_and_gradient_wrt_mask(
+        mask_relaxed, target, objective=objective, threshold=threshold,
+        resist_steepness=resist_steepness)
+
+
+def condition_error_and_gradient(
+        mask_params: np.ndarray, target: np.ndarray, kernels: KernelSet,
+        conditions: ConditionSet, threshold: float, resist_steepness: float,
+        mask_steepness: float,
+        objective: str = "weighted") -> Tuple[ErrorT, np.ndarray]:
+    """Process-window error/gradient w.r.t. unconstrained ILT parameters
+    (the full Eq. 14 chain, aggregated over the corner stack)."""
+    engine = LithoEngine.for_conditions(kernels, conditions)
+    return engine.condition_error_and_gradient(
+        mask_params, target, objective=objective, threshold=threshold,
+        resist_steepness=resist_steepness, mask_steepness=mask_steepness)
 
 
 def discrete_l2(wafer: np.ndarray, target: np.ndarray) -> float:

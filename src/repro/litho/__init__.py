@@ -9,6 +9,7 @@ process-variation-band evaluation.
 
 from .aerial import (aerial_image, aerial_image_and_fields, mask_fields,
                      mask_spectrum)
+from .conditions import PW_OBJECTIVES, Condition, ConditionSet
 from .config import LithoConfig, OpticsConfig
 from .engine import EngineStats, LithoEngine, real_spectrum
 from .kernels import (KernelSet, build_kernels, clear_cache, config_hash,
@@ -23,6 +24,7 @@ from .window import (ProcessWindow, depth_of_focus, exposure_latitude,
 
 __all__ = [
     "OpticsConfig", "LithoConfig",
+    "Condition", "ConditionSet", "PW_OBJECTIVES",
     "EngineStats", "LithoEngine", "real_spectrum",
     "KernelSet", "build_kernels", "clear_cache", "config_hash",
     "save_kernels", "load_kernels",

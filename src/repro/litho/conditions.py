@@ -1,0 +1,226 @@
+"""Process-window condition sets for the litho engine.
+
+The paper evaluates process variation as a ±2% dose band (the PVB
+column of Table 2); production OPC judges masks over a full
+(defocus, dose) window.  A :class:`Condition` is one such process
+corner — a defocus offset in nanometres plus a relative exposure
+dose — and a :class:`ConditionSet` is an ordered stack of corners
+that :class:`~repro.litho.engine.LithoEngine` evaluates in one
+batched matmul-DFT pass over the shared mask spectrum.
+
+Two physical facts make the stack cheap:
+
+* defocus is a pure quadratic pupil phase *inside* the pupil
+  passband, so the compact mask spectrum is condition-independent
+  and is computed once per forward; and
+* dose is a pure intensity scale, so corners that share a defocus
+  share their coherent fields and intensity — only the final
+  ``intensity * dose`` differs.
+
+The engine therefore groups corners by unique defocus: a 2-focus x
+2-dose window costs roughly two nominal forwards, not four.
+
+Corner ``weight`` values feed the *weighted* process-window
+objective (normalized across the set); the *worst* objective
+ignores them and follows the per-sample worst corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Condition", "ConditionSet", "PW_OBJECTIVES"]
+
+#: Valid values for the process-window objective knobs exposed by the
+#: ILT optimizer, training loops and the CLI.  ``nominal`` means
+#: "ignore the corner stack and optimize the nominal condition only".
+PW_OBJECTIVES = ("nominal", "weighted", "worst")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One process corner: a (defocus, dose) pair with a weight.
+
+    Parameters
+    ----------
+    defocus:
+        Focus offset in nanometres (absolute, not relative to the
+        optics config).
+    dose:
+        Relative exposure dose; ``1.0`` is nominal.
+    weight:
+        Non-negative aggregation weight used by the *weighted*
+        process-window objective.  Weights are normalized across the
+        owning :class:`ConditionSet`.
+    """
+
+    defocus: float = 0.0
+    dose: float = 1.0
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.dose > 0:
+            raise ValueError(f"dose must be positive, got {self.dose}")
+        if self.weight < 0:
+            raise ValueError(f"weight must be >= 0, got {self.weight}")
+
+    def describe(self) -> str:
+        """Short human-readable label, e.g. ``f+40nm d0.98``."""
+        return f"f{self.defocus:+g}nm d{self.dose:g}"
+
+
+@dataclass(frozen=True)
+class ConditionSet:
+    """Ordered, hashable stack of process corners.
+
+    Instances are immutable and picklable, so they travel through the
+    shared-memory :class:`~repro.parallel.pool.WorkerPool` unchanged
+    and serve as memoization keys for per-condition engines.
+    """
+
+    corners: Tuple[Condition, ...]
+
+    def __post_init__(self):
+        if not self.corners:
+            raise ValueError("ConditionSet needs at least one corner")
+        if not all(isinstance(c, Condition) for c in self.corners):
+            raise TypeError("corners must be Condition instances")
+        if sum(c.weight for c in self.corners) <= 0:
+            raise ValueError("at least one corner weight must be positive")
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def nominal(cls, defocus: float = 0.0) -> "ConditionSet":
+        """The single nominal corner (dose 1.0) at ``defocus``."""
+        return cls((Condition(defocus=defocus),))
+
+    @classmethod
+    def dose_corners(cls, dose_variation: float = 0.02,
+                     defocus: float = 0.0) -> "ConditionSet":
+        """Nominal plus the paper's ±``dose_variation`` dose band."""
+        if not 0 < dose_variation < 1:
+            raise ValueError(
+                f"dose_variation must be in (0, 1), got {dose_variation}")
+        return cls((Condition(defocus, 1.0 - dose_variation),
+                    Condition(defocus, 1.0),
+                    Condition(defocus, 1.0 + dose_variation)))
+
+    @classmethod
+    def grid(cls, defocuses: Sequence[float], doses: Sequence[float],
+             weights: Optional[Sequence[float]] = None) -> "ConditionSet":
+        """Full defocus x dose product, defocus-major.
+
+        Corner ``fi * len(doses) + di`` is ``(defocuses[fi],
+        doses[di])``, matching the ``(focus, dose)`` layout of
+        :class:`~repro.litho.window.ProcessWindow` matrices.
+        """
+        defocuses = tuple(float(f) for f in defocuses)
+        doses = tuple(float(d) for d in doses)
+        if not defocuses or not doses:
+            raise ValueError("defocuses and doses must be non-empty")
+        count = len(defocuses) * len(doses)
+        if weights is None:
+            weights = (1.0,) * count
+        weights = tuple(float(w) for w in weights)
+        if len(weights) != count:
+            raise ValueError(
+                f"expected {count} weights, got {len(weights)}")
+        corners = tuple(
+            Condition(f, d, weights[fi * len(doses) + di])
+            for fi, f in enumerate(defocuses)
+            for di, d in enumerate(doses))
+        return cls(corners)
+
+    @classmethod
+    def parse(cls, spec: str,
+              dose_variation: float = 0.02) -> "ConditionSet":
+        """Parse a CLI corner spec.
+
+        Accepts the presets ``nominal``, ``dose`` (nominal ± dose
+        band) and ``window`` (2 focus planes x 3 doses), or an
+        explicit comma-separated list of ``defocus:dose[:weight]``
+        corners, e.g. ``"0:1.0,40:0.98,40:1.02"``.
+        """
+        text = spec.strip().lower()
+        if not text:
+            raise ValueError("empty corner spec")
+        if text == "nominal":
+            return cls.nominal()
+        if text == "dose":
+            return cls.dose_corners(dose_variation)
+        if text == "window":
+            return cls.grid(defocuses=(0.0, 40.0),
+                            doses=(1.0 - dose_variation, 1.0,
+                                   1.0 + dose_variation))
+        corners: List[Condition] = []
+        for part in text.split(","):
+            fields = part.strip().split(":")
+            if len(fields) not in (2, 3):
+                raise ValueError(
+                    f"bad corner {part!r}: expected defocus:dose[:weight]")
+            try:
+                values = [float(f) for f in fields]
+            except ValueError:
+                raise ValueError(
+                    f"bad corner {part!r}: non-numeric field") from None
+            weight = values[2] if len(values) == 3 else 1.0
+            corners.append(Condition(values[0], values[1], weight))
+        return cls(tuple(corners))
+
+    # -- introspection --------------------------------------------------
+    @property
+    def num_conditions(self) -> int:
+        return len(self.corners)
+
+    @property
+    def doses(self) -> np.ndarray:
+        return np.array([c.dose for c in self.corners])
+
+    @property
+    def defocuses(self) -> np.ndarray:
+        return np.array([c.defocus for c in self.corners])
+
+    @property
+    def weights(self) -> np.ndarray:
+        return np.array([c.weight for c in self.corners])
+
+    def normalized_weights(self) -> np.ndarray:
+        """Corner weights scaled to sum to 1 (for the weighted objective)."""
+        weights = self.weights
+        return weights / weights.sum()
+
+    def is_single_nominal(self, defocus: float = 0.0) -> bool:
+        """True when the set is exactly one dose-1.0 corner at ``defocus``.
+
+        This is the engine's C=1 fast path: such a stack delegates to
+        the untouched nominal code, so results are bit-exact with the
+        single-condition engine by construction.
+        """
+        return (len(self.corners) == 1
+                and self.corners[0].dose == 1.0
+                and self.corners[0].defocus == defocus)
+
+    def defocus_groups(self) -> Tuple[Tuple[float, Tuple[int, ...]], ...]:
+        """Unique defocuses (first-appearance order) with corner indices.
+
+        Each entry is ``(defocus, corner_indices)``; the engine builds
+        one kernel stack per group and shares its coherent fields
+        across the group's dose corners.
+        """
+        groups: Dict[float, List[int]] = {}
+        for index, corner in enumerate(self.corners):
+            groups.setdefault(corner.defocus, []).append(index)
+        return tuple((defocus, tuple(indices))
+                     for defocus, indices in groups.items())
+
+    def describe(self) -> str:
+        return ", ".join(c.describe() for c in self.corners)
+
+    def __iter__(self) -> Iterable[Condition]:
+        return iter(self.corners)
+
+    def __len__(self) -> int:
+        return len(self.corners)

@@ -53,7 +53,8 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Dict, Optional, Tuple, Union
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -61,6 +62,7 @@ from repro.obs import trace
 from repro.obs.registry import MetricsRegistry
 from repro.workspace import Workspace
 
+from .conditions import ConditionSet
 from .config import LithoConfig
 from .kernels import KernelSet, build_kernels
 from .resist import binarize_mask, hard_resist, sigmoid_mask, _stable_sigmoid
@@ -173,6 +175,77 @@ def real_spectrum(masks: np.ndarray) -> np.ndarray:
     return full
 
 
+def _dft_factor(a: np.ndarray, b: np.ndarray, sign: int, scale: float,
+                grid: int, cdtype: np.dtype) -> np.ndarray:
+    """DFT factor matrix ``exp(sign * 2j*pi/grid * a b^T) * scale``."""
+    omega = 2j * np.pi / grid
+    return (np.exp(sign * omega * np.outer(a, b)) * scale).astype(cdtype)
+
+
+class _ConditionStack:
+    """Precomputed corner tensors for one engine's :class:`ConditionSet`.
+
+    Internal to :class:`LithoEngine` and built lazily on the first
+    condition-stack call, so nominal engines never pay for it.  Corner
+    kernel stacks are concatenated along the kernel axis, grouped by
+    unique defocus: ``freq_cc[group_slices[g]]`` are the compact
+    kernels of defocus group ``g``, and every corner in
+    ``group_of[c] == g`` shares that group's coherent fields — dose is
+    applied as a pure intensity scale afterwards.  DFT factor matrices
+    are restricted to the union passband of the whole stack, exactly
+    like the nominal engine's single-condition factors.
+    """
+
+    __slots__ = ("freq_cc", "adj_cc", "weights", "group_slices", "group_of",
+                 "doses", "lam", "num_groups", "spec_row", "spec_col",
+                 "ifft_row", "ifft_col", "fft_row", "fft_col", "grad_row",
+                 "grad_col", "gradient_chunk")
+
+    def __init__(self, conditions: ConditionSet,
+                 kernel_sets: List[KernelSet], group_of: np.ndarray,
+                 rdtype: np.dtype, cdtype: np.dtype):
+        grid = kernel_sets[0].grid
+        freq = np.concatenate([ks.freq_kernels for ks in kernel_sets], axis=0)
+        adjoint = np.concatenate([ks.flipped() for ks in kernel_sets], axis=0)
+        self.weights = np.concatenate(
+            [ks.weights for ks in kernel_sets]).astype(rdtype)
+        raw_weights = np.concatenate([ks.weights for ks in kernel_sets])
+
+        self.num_groups = len(kernel_sets)
+        starts = np.cumsum([0] + [len(ks.weights) for ks in kernel_sets])
+        self.group_slices = tuple(slice(int(starts[g]), int(starts[g + 1]))
+                                  for g in range(self.num_groups))
+        self.group_of = group_of
+        self.doses = conditions.doses.astype(rdtype)
+        self.lam = conditions.normalized_weights().astype(rdtype)
+
+        # Union passband of every corner's kernels; defocus is a pure
+        # pupil phase so in practice all groups share one support, but
+        # the union keeps the slicing exact regardless.
+        rows = np.where(np.any(freq != 0, axis=(0, 2)))[0]
+        cols = np.where(np.any(freq != 0, axis=(0, 1)))[0]
+        arows = np.where(np.any(adjoint != 0, axis=(0, 2)))[0]
+        acols = np.where(np.any(adjoint != 0, axis=(0, 1)))[0]
+        self.freq_cc = np.ascontiguousarray(
+            freq[:, rows[:, None], cols[None, :]], dtype=cdtype)
+        self.adj_cc = np.ascontiguousarray(
+            (2.0 * raw_weights)[:, None, None]
+            * adjoint[:, arows[:, None], acols[None, :]], dtype=cdtype)
+
+        x = np.arange(grid)
+        self.spec_row = _dft_factor(rows, x, -1, 1.0, grid, cdtype)
+        self.spec_col = _dft_factor(x, cols, -1, 1.0, grid, cdtype)
+        self.ifft_row = _dft_factor(x, rows, +1, 1.0 / grid, grid, cdtype)
+        self.ifft_col = _dft_factor(cols, x, +1, 1.0 / grid, grid, cdtype)
+        self.fft_row = _dft_factor(arows, x, -1, 1.0, grid, cdtype)
+        self.fft_col = _dft_factor(x, acols, -1, 1.0, grid, cdtype)
+        self.grad_row = _dft_factor(x, arows, +1, 1.0 / grid, grid, cdtype)
+        self.grad_col = _dft_factor(acols, x, +1, 1.0 / grid, grid, cdtype)
+
+        bytes_per_sample = len(self.weights) * grid * grid * cdtype.itemsize
+        self.gradient_chunk = max(1, (8 << 20) // bytes_per_sample)
+
+
 class LithoEngine:
     """Batched, cached Hopkins forward/adjoint lithography engine.
 
@@ -188,16 +261,27 @@ class LithoEngine:
         ``"f64"`` (default) or ``"f32"``; ``None`` consults the
         ``REPRO_PRECISION`` environment variable.  f32 engines compute
         spectra, fields and the resist in single precision.
+    conditions:
+        Optional :class:`~repro.litho.conditions.ConditionSet` of
+        (defocus, dose) process corners served by the ``condition_*``
+        methods.  Defaults to the single nominal corner of ``config``;
+        the corner kernel tensors are built lazily on first use, so
+        nominal engines pay nothing.  The nominal methods (``aerial``,
+        ``litho_error``, ...) always evaluate the engine's own config
+        regardless of ``conditions``.
 
     All mask-consuming methods accept either a single ``(H, W)`` array
     or a batch ``(N, H, W)`` and return results of matching rank; error
     terms come back as a ``float`` for single masks and an ``(N,)``
-    array for batches.
+    array for batches.  The ``condition_*`` methods add a corner axis
+    ``C`` directly after the batch axis (or in front, for single
+    masks).
     """
 
     def __init__(self, config: Optional[LithoConfig] = None,
                  kernels: Optional[KernelSet] = None,
-                 precision: Optional[str] = None):
+                 precision: Optional[str] = None,
+                 conditions: Optional[ConditionSet] = None):
         if kernels is None:
             config = config or LithoConfig.paper()
             kernels = build_kernels(config)
@@ -238,25 +322,28 @@ class LithoEngine:
         # only at the adjoint support, and ``grad_*`` inverts from that
         # support back to the full grid.
         x = np.arange(grid)
-        omega = 2j * np.pi / grid
-
-        def _dft(a, b, sign, scale):
-            return (np.exp(sign * omega * np.outer(a, b)) * scale
-                    ).astype(cdtype)
-
-        self._spec_row = _dft(rows, x, -1, 1.0)
-        self._spec_col = _dft(x, cols, -1, 1.0)
-        self._ifft_row = _dft(x, rows, +1, 1.0 / grid)
-        self._ifft_col = _dft(cols, x, +1, 1.0 / grid)
-        self._fft_row = _dft(arows, x, -1, 1.0)
-        self._fft_col = _dft(x, acols, -1, 1.0)
-        self._grad_row = _dft(x, arows, +1, 1.0 / grid)
-        self._grad_col = _dft(acols, x, +1, 1.0 / grid)
+        self._spec_row = _dft_factor(rows, x, -1, 1.0, grid, cdtype)
+        self._spec_col = _dft_factor(x, cols, -1, 1.0, grid, cdtype)
+        self._ifft_row = _dft_factor(x, rows, +1, 1.0 / grid, grid, cdtype)
+        self._ifft_col = _dft_factor(cols, x, +1, 1.0 / grid, grid, cdtype)
+        self._fft_row = _dft_factor(arows, x, -1, 1.0, grid, cdtype)
+        self._fft_col = _dft_factor(x, acols, -1, 1.0, grid, cdtype)
+        self._grad_row = _dft_factor(x, arows, +1, 1.0 / grid, grid, cdtype)
+        self._grad_col = _dft_factor(acols, x, +1, 1.0 / grid, grid, cdtype)
 
         # Batched-gradient chunk size: cap the per-chunk field tensor
         # at ~8 MB so it stays cache-resident (see _forward).
         bytes_per_sample = len(self._weights) * grid * grid * cdtype.itemsize
         self._gradient_chunk = max(1, (8 << 20) // bytes_per_sample)
+
+        if conditions is None:
+            conditions = ConditionSet.nominal(
+                defocus=self.config.optics.defocus)
+        elif not isinstance(conditions, ConditionSet):
+            raise TypeError(
+                f"conditions must be a ConditionSet, got {conditions!r}")
+        self.conditions = conditions
+        self._condition_stack: Optional[_ConditionStack] = None
 
         self.workspace = Workspace()
         self.metrics = MetricsRegistry()
@@ -277,6 +364,30 @@ class LithoEngine:
         if engine is None:
             engine = cls(kernels=kernels, precision=precision)
             engines[precision] = engine
+        return engine
+
+    @classmethod
+    def for_conditions(cls, kernels: KernelSet, conditions: ConditionSet,
+                       precision: Optional[str] = None) -> "LithoEngine":
+        """Shared engine serving a condition stack (memoized per
+        (conditions, precision) on the nominal kernel set).
+
+        A single-nominal-corner stack *is* the plain engine: this
+        returns the :meth:`for_kernels` instance, so C=1 results are
+        bit-exact with the current nominal engine by construction.
+        """
+        if conditions.is_single_nominal(kernels.config.optics.defocus):
+            return cls.for_kernels(kernels, precision)
+        precision = resolve_precision(precision)
+        engines = kernels.__dict__.get("_condition_engines")
+        if engines is None:
+            engines = {}
+            object.__setattr__(kernels, "_condition_engines", engines)
+        engine = engines.get((conditions, precision))
+        if engine is None:
+            engine = cls(kernels=kernels, precision=precision,
+                         conditions=conditions)
+            engines[(conditions, precision)] = engine
         return engine
 
     @property
@@ -612,3 +723,297 @@ class LithoEngine:
         masks = binarize_mask(sigmoid_mask(
             np.asarray(mask_params, dtype=float), beta))
         return masks, self.discrete_l2(masks, target)
+
+    # ------------------------------------------------------------------
+    # Condition stacks (process-window corners)
+    # ------------------------------------------------------------------
+    @property
+    def num_conditions(self) -> int:
+        return self.conditions.num_conditions
+
+    @property
+    def _nominal_conditions(self) -> bool:
+        """True when the stack is the engine's own single nominal corner
+        — the C=1 fast path that delegates to the untouched nominal
+        methods (bit-exact by construction)."""
+        return self.conditions.is_single_nominal(self.config.optics.defocus)
+
+    def _kernels_for_defocus(self, defocus: float) -> KernelSet:
+        """Kernel set for one defocus plane, through the build caches.
+
+        Defocus lives in ``OpticsConfig`` so :func:`build_kernels`
+        serves repeats from its in-process cache and persists new
+        planes to the disk kernel cache (``config_hash`` covers
+        defocus).
+        """
+        if defocus == self.config.optics.defocus:
+            return self.kernels
+        focus_config = replace(
+            self.config, optics=replace(self.config.optics,
+                                        defocus=float(defocus)))
+        return build_kernels(focus_config)
+
+    def _condition(self) -> _ConditionStack:
+        """The lazily-built corner tensor stack."""
+        if self._condition_stack is None:
+            groups = self.conditions.defocus_groups()
+            kernel_sets = [self._kernels_for_defocus(defocus)
+                           for defocus, _ in groups]
+            group_of = np.empty(self.num_conditions, dtype=int)
+            for g, (_, indices) in enumerate(groups):
+                group_of[list(indices)] = g
+            self._condition_stack = _ConditionStack(
+                self.conditions, kernel_sets, group_of,
+                self._rdtype, self._cdtype)
+        return self._condition_stack
+
+    def _condition_compact_spectrum(self, batch: np.ndarray) -> np.ndarray:
+        """Mask spectrum on the condition stack's union passband.
+
+        Condition-independent: defocus is a pupil phase and dose an
+        intensity scale, so one spectrum serves every corner.
+        """
+        cond = self._condition()
+        ws = self.workspace
+        n, grid = batch.shape[0], self.grid
+        n_rows = cond.spec_row.shape[0]
+        n_cols = cond.spec_col.shape[1]
+        with trace.span("litho.spectrum", masks=n):
+            complex_batch = ws.get("cond.spec.batch", (n, grid, grid),
+                                   self._cdtype)
+            complex_batch[...] = batch
+            partial = np.matmul(
+                cond.spec_row, complex_batch,
+                out=ws.get("cond.spec.partial", (n, n_rows, grid),
+                           self._cdtype))
+            return np.matmul(
+                partial, cond.spec_col,
+                out=ws.get("cond.spec.compact", (n, n_rows, n_cols),
+                           self._cdtype))
+
+    def _condition_forward_impl(self, batch: np.ndarray, keep_fields: bool
+                                ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Fused forward over the corner kernel stack (no accounting).
+
+        Returns ``(group_intensity, fields)``: per-defocus-group aerial
+        intensities ``(F, N, H, W)`` — corners sharing a defocus share
+        fields, their doses are applied by the callers as intensity
+        scales — and fields ``(J, N, H, W)`` over all stacked kernels
+        when requested.  Both live in the workspace arena and must be
+        consumed before the next engine call.
+        """
+        cond = self._condition()
+        compact = self._condition_compact_spectrum(batch)
+        ws = self.workspace
+        n, grid = batch.shape[0], self.grid
+        total_kernels = len(cond.weights)
+        if keep_fields:
+            fields = ws.get("cond.fields", (total_kernels, n, grid, grid),
+                            self._cdtype)
+        else:
+            fields = None
+        scratch = ws.get("cond.scratch", (n, grid, grid), self._cdtype)
+        group_intensity = ws.zeros(
+            "cond.intensity", (cond.num_groups, n, grid, grid), self._rdtype)
+        for g, group in enumerate(cond.group_slices):
+            for j in range(group.start, group.stop):
+                out = fields[j] if keep_fields else scratch
+                field = np.matmul(
+                    cond.ifft_row, (compact * cond.freq_cc[j]) @ cond.ifft_col,
+                    out=out)
+                group_intensity[g] += cond.weights[j] * (field.real ** 2 +
+                                                         field.imag ** 2)
+        return group_intensity, fields
+
+    def condition_aerial(self, mask: np.ndarray) -> np.ndarray:
+        """Aerial images at every corner: ``(C, H, W)`` or ``(N, C, H, W)``.
+
+        Corner ordering follows ``self.conditions.corners``.
+        """
+        batch, single = self._as_batch(mask)
+        if self._nominal_conditions:
+            intensity = self.aerial(batch)[:, None]
+            return intensity[0] if single else intensity
+        cond = self._condition()
+        n, grid = batch.shape[0], self.grid
+        started = time.perf_counter()
+        with trace.span("litho.forward", masks=n,
+                        corners=self.num_conditions):
+            group_intensity, _ = self._condition_forward_impl(
+                batch, keep_fields=False)
+            out = np.empty((n, self.num_conditions, grid, grid),
+                           dtype=self._rdtype)
+            for c in range(self.num_conditions):
+                source = group_intensity[cond.group_of[c]]
+                if cond.doses[c] != 1.0:
+                    np.multiply(source, cond.doses[c], out=out[:, c])
+                else:
+                    out[:, c] = source
+        self.stats.record_forward(n, time.perf_counter() - started)
+        return out[0] if single else out
+
+    def condition_wafers(self, mask: np.ndarray) -> np.ndarray:
+        """Hard-resist wafers at every corner (Eq. 3 per corner)."""
+        return hard_resist(self.condition_aerial(mask), self.threshold)
+
+    def condition_relaxed_wafers(self, mask: np.ndarray,
+                                 resist_steepness: Optional[float] = None
+                                 ) -> np.ndarray:
+        """Sigmoid-resist wafers at every corner (Eq. 12 per corner)."""
+        steepness = resist_steepness or self.config.resist_steepness
+        return _stable_sigmoid(
+            steepness * (self.condition_aerial(mask) - self.threshold))
+
+    def condition_litho_errors(self, mask: np.ndarray, target: np.ndarray,
+                               relaxed: bool = False) -> np.ndarray:
+        """Per-corner litho errors ``(C,)`` or ``(N, C)`` (Eq. 11)."""
+        batch, single = self._as_batch(mask)
+        targets = self._as_targets(target)
+        wafers = (self.condition_relaxed_wafers(batch) if relaxed
+                  else self.condition_wafers(batch))
+        diff = wafers - (targets[..., None, :, :]
+                         if targets.ndim == 3 else targets)
+        errors = np.sum(diff * diff, axis=(-2, -1))
+        return errors[0] if single else errors
+
+    def condition_error_and_gradient_wrt_mask(
+            self, mask_relaxed: np.ndarray, target: np.ndarray,
+            objective: str = "weighted",
+            threshold: Optional[float] = None,
+            resist_steepness: Optional[float] = None
+            ) -> Tuple[ArrayOrScalar, np.ndarray]:
+        """Corner-aggregated litho error and mask gradient (Eq. 14).
+
+        ``objective="weighted"`` minimizes the corner-weight average
+        ``E = sum_c lam_c E_c`` (lam normalized); ``"worst"`` follows
+        the per-sample worst corner (a subgradient of ``max_c E_c``).
+        Both share the nominal adjoint: per-corner upstream intensity
+        gradients are combined per defocus group, pushed through the
+        stacked flipped kernels, and expanded once.
+        """
+        if objective not in ("weighted", "worst"):
+            raise ValueError(
+                f"objective must be 'weighted' or 'worst', got {objective!r}")
+        if self._nominal_conditions:
+            return self.error_and_gradient_wrt_mask(
+                mask_relaxed, target, threshold=threshold,
+                resist_steepness=resist_steepness)
+        started = time.perf_counter()
+        threshold = self.threshold if threshold is None else threshold
+        steepness = (self.config.resist_steepness if resist_steepness is None
+                     else resist_steepness)
+        batch, single = self._as_batch(mask_relaxed)
+        targets = self._as_targets(target)
+        if targets.ndim == 2:
+            targets = np.broadcast_to(targets, batch.shape)
+
+        with trace.span("litho.adjoint", masks=batch.shape[0],
+                        corners=self.num_conditions):
+            chunk = self._condition().gradient_chunk
+            if batch.shape[0] > chunk:
+                errors = np.empty(batch.shape[0], dtype=self._rdtype)
+                grads = np.empty(batch.shape, dtype=self._rdtype)
+                for i in range(0, batch.shape[0], chunk):
+                    errors[i:i + chunk], grads[i:i + chunk] = \
+                        self._condition_gradient_chunk(
+                            batch[i:i + chunk], targets[i:i + chunk],
+                            threshold, steepness, objective)
+            else:
+                errors, grads = self._condition_gradient_chunk(
+                    batch, targets, threshold, steepness, objective)
+        self.stats.record_gradient(batch.shape[0],
+                                   time.perf_counter() - started)
+        if single:
+            return float(errors[0]), grads[0]
+        return errors, grads
+
+    def _condition_gradient_chunk(
+            self, batch: np.ndarray, targets: np.ndarray, threshold: float,
+            steepness: float, objective: str
+            ) -> Tuple[np.ndarray, np.ndarray]:
+        cond = self._condition()
+        ws = self.workspace
+        group_intensity, fields = self._condition_forward_impl(
+            batch, keep_fields=True)
+        n, grid = batch.shape[0], self.grid
+        num_corners = self.num_conditions
+
+        # Per-corner errors and upstream dE_c/dI (resist slope and the
+        # dose chain-rule factor folded in, matching the nominal path).
+        errors = np.empty((n, num_corners), dtype=self._rdtype)
+        grad_intensity = ws.get(
+            "cond.grad_i", (num_corners, n, grid, grid), self._rdtype)
+        for c in range(num_corners):
+            intensity = group_intensity[cond.group_of[c]]
+            if cond.doses[c] != 1.0:
+                intensity = intensity * cond.doses[c]
+            wafer = _stable_sigmoid(steepness * (intensity - threshold))
+            diff = wafer - targets
+            errors[:, c] = np.sum(diff * diff, axis=(-2, -1))
+            gi = 2.0 * steepness * diff * wafer * (1.0 - wafer)
+            if cond.doses[c] != 1.0:
+                gi *= cond.doses[c]
+            grad_intensity[c] = gi
+
+        # Aggregation coefficients per (sample, corner).
+        if objective == "weighted":
+            coef = np.broadcast_to(cond.lam, (n, num_corners))
+            aggregated = errors @ cond.lam
+        else:  # worst corner, per sample
+            worst = np.argmax(errors, axis=1)
+            coef = np.zeros((n, num_corners), dtype=self._rdtype)
+            coef[np.arange(n), worst] = 1.0
+            aggregated = errors[np.arange(n), worst]
+
+        # Combine corner upstreams per defocus group, then run the
+        # standard adjoint over the whole stacked kernel tensor.
+        combined = ws.zeros("cond.combined",
+                            (cond.num_groups, n, grid, grid), self._rdtype)
+        for c in range(num_corners):
+            combined[cond.group_of[c]] += (coef[:, c, None, None]
+                                           * grad_intensity[c])
+
+        n_arows, n_acols = cond.adj_cc.shape[1:]
+        accumulated = ws.zeros("cond.adj.acc", (n, n_arows, n_acols),
+                               self._cdtype)
+        weighted = ws.get("cond.adj.weighted", (n, grid, grid), self._cdtype)
+        partial = ws.get("cond.adj.partial", (n, n_arows, grid), self._cdtype)
+        spectrum_j = ws.get("cond.adj.spectrum", (n, n_arows, n_acols),
+                            self._cdtype)
+        for g, group in enumerate(cond.group_slices):
+            for j in range(group.start, group.stop):
+                np.conjugate(fields[j], out=weighted)
+                weighted *= combined[g]
+                np.matmul(cond.fft_row, weighted, out=partial)
+                np.matmul(partial, cond.fft_col, out=spectrum_j)
+                spectrum_j *= cond.adj_cc[j]
+                accumulated += spectrum_j
+        expanded = np.matmul(
+            cond.grad_row,
+            np.matmul(accumulated, cond.grad_col,
+                      out=ws.get("cond.adj.expand", (n, n_arows, grid),
+                                 self._cdtype)),
+            out=ws.get("cond.adj.grad", (n, grid, grid), self._cdtype))
+        grad = np.array(expanded.real, dtype=self._rdtype)
+        return np.asarray(aggregated, dtype=self._rdtype), grad
+
+    def condition_error_and_gradient(
+            self, mask_params: np.ndarray, target: np.ndarray,
+            objective: str = "weighted",
+            threshold: Optional[float] = None,
+            resist_steepness: Optional[float] = None,
+            mask_steepness: Optional[float] = None
+            ) -> Tuple[ArrayOrScalar, np.ndarray]:
+        """Corner-aggregated error and gradient w.r.t. ILT parameters
+        (the full Eq. 14 chain through the mask sigmoid)."""
+        beta = (self.config.mask_steepness if mask_steepness is None
+                else mask_steepness)
+        params = np.asarray(mask_params)
+        if params.dtype != self._rdtype:
+            params = params.astype(self._rdtype)
+        relaxed = sigmoid_mask(params, beta)
+        error, grad_mb = self.condition_error_and_gradient_wrt_mask(
+            relaxed, target, objective=objective, threshold=threshold,
+            resist_steepness=resist_steepness)
+        grad = beta * relaxed * (1.0 - relaxed) * grad_mb
+        return error, grad

@@ -3,12 +3,15 @@
 The paper evaluates process variation through the +/-2% dose band only
 (Table 2's PVB column); production flows — and the process-window-aware
 OPC of [3-5] the paper cites — characterize masks over a grid of
-(dose, defocus) corners.  This module provides that richer analysis on
-top of the same kernel machinery:
+(dose, defocus) corners.  This module is a thin facade over the
+condition-stack interface of :class:`~repro.litho.engine.LithoEngine`:
+a dose x focus grid becomes a :class:`~repro.litho.conditions.ConditionSet`
+and every corner is evaluated in one batched matmul-DFT pass over the
+shared mask spectrum (one kernel stack per focus plane, served from the
+kernel caches; dose corners are intensity scales on top).
 
-* :func:`process_window_matrix` — CD or L2 error over a dose x focus
-  grid (defocused kernel sets are built per focus column and cached by
-  :mod:`repro.litho.kernels`);
+* :func:`process_window_matrix` — L2 wafer error over a dose x focus
+  grid;
 * :func:`exposure_latitude` — the dose range keeping the wafer error
   under a tolerance at nominal focus;
 * :func:`depth_of_focus` — the focus range keeping it under tolerance
@@ -20,15 +23,15 @@ users the standard litho figure-of-merit vocabulary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from .conditions import ConditionSet
 from .config import LithoConfig
+from .engine import LithoEngine
 from .kernels import build_kernels
-from .resist import hard_resist
-from .simulator import LithoSimulator
 
 
 @dataclass(frozen=True)
@@ -63,31 +66,31 @@ def process_window_matrix(mask: np.ndarray, target: np.ndarray,
                           config: LithoConfig,
                           doses: Sequence[float] = (0.95, 0.98, 1.0, 1.02, 1.05),
                           defocuses: Sequence[float] = (0.0, 40.0, 80.0),
+                          engine: Optional[LithoEngine] = None,
                           ) -> ProcessWindow:
     """Simulate ``mask`` over every (defocus, dose) corner.
 
-    One kernel set is built (and cached) per focus value; dose is a
-    pure intensity scale, so each focus row costs a single aerial
-    image.
+    The grid becomes a defocus-major :meth:`ConditionSet.grid` stack
+    evaluated by a shared condition engine: one kernel set per focus
+    plane (built through the in-process and disk kernel caches) and one
+    mask spectrum for all corners.  Pass ``engine`` to reuse a
+    condition engine across calls; it must have been built for the
+    same corner grid.
     """
     doses = tuple(float(d) for d in doses)
     defocuses = tuple(float(f) for f in defocuses)
     if not doses or not defocuses:
         raise ValueError("need at least one dose and one defocus value")
-    target = np.asarray(target, dtype=float)
 
-    errors = np.zeros((len(defocuses), len(doses)))
-    for fi, defocus in enumerate(defocuses):
-        focus_config = replace(config, optics=replace(config.optics,
-                                                      defocus=defocus))
-        simulator = LithoSimulator(focus_config,
-                                   build_kernels(focus_config))
-        intensity = simulator.aerial(mask)
-        for di, dose in enumerate(doses):
-            wafer = hard_resist(intensity * dose, config.threshold)
-            diff = wafer - target
-            errors[fi, di] = float(np.sum(diff * diff))
-    return ProcessWindow(doses=doses, defocuses=defocuses, l2_error=errors)
+    conditions = ConditionSet.grid(defocuses=defocuses, doses=doses)
+    if engine is None:
+        engine = LithoEngine.for_conditions(build_kernels(config), conditions)
+    elif engine.conditions != conditions:
+        raise ValueError("engine was built for a different corner grid")
+    errors = engine.condition_litho_errors(mask, target)
+    matrix = np.asarray(errors, dtype=float).reshape(len(defocuses),
+                                                     len(doses))
+    return ProcessWindow(doses=doses, defocuses=defocuses, l2_error=matrix)
 
 
 def exposure_latitude(mask: np.ndarray, target: np.ndarray,

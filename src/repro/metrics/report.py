@@ -14,18 +14,22 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from ..geometry.layout import Layout
+from ..litho.engine import LithoEngine
 from ..litho.simulator import LithoSimulator
 from .defects import detect_bridges, detect_necks
 from .epe import measure_epe
 from .l2 import squared_l2, squared_l2_nm2
-from .pvband import pv_band_nm2
+from .pvband import pv_band_nm2, window_pv_band_nm2
 
 
 @dataclass
 class MaskEvaluation:
     """Printability of one mask against one target clip.
 
-    Distances/areas are nm-based to match the paper's units.
+    Distances/areas are nm-based to match the paper's units.  The
+    ``window_*`` / ``worst_corner_*`` fields are populated only when
+    the evaluation ran with a process-window condition engine; they
+    generalize the dose-band PVB column to the full corner stack.
     """
 
     name: str
@@ -36,6 +40,9 @@ class MaskEvaluation:
     neck_defects: Optional[int] = None
     bridge_defects: Optional[int] = None
     runtime_seconds: Optional[float] = None
+    window_pvband_nm2: Optional[float] = None
+    worst_corner_l2_nm2: Optional[float] = None
+    worst_corner_epe: Optional[int] = None
 
     def as_dict(self) -> Dict:
         return {
@@ -47,6 +54,9 @@ class MaskEvaluation:
             "neck_defects": self.neck_defects,
             "bridge_defects": self.bridge_defects,
             "runtime_seconds": self.runtime_seconds,
+            "window_pvband_nm2": self.window_pvband_nm2,
+            "worst_corner_l2_nm2": self.worst_corner_l2_nm2,
+            "worst_corner_epe": self.worst_corner_epe,
         }
 
 
@@ -55,13 +65,19 @@ def evaluate_mask(simulator: LithoSimulator, mask: np.ndarray,
                   name: str = "mask",
                   runtime_seconds: Optional[float] = None,
                   epe_threshold: float = 10.0,
-                  neck_fraction: float = 0.5) -> MaskEvaluation:
+                  neck_fraction: float = 0.5,
+                  condition_engine: Optional[LithoEngine] = None
+                  ) -> MaskEvaluation:
     """Evaluate a mask with every metric the repo reports.
 
     ``layout`` enables the vector-based EPE measurement; without it only
     raster metrics (L2, PVB, neck, bridge) are produced.
     ``neck_fraction`` sets the neck threshold as a fraction of the
     design-rule CD expressed in pixels (80 nm at the paper's node).
+    ``condition_engine`` (an engine carrying a process-window
+    :class:`~repro.litho.conditions.ConditionSet`) additionally fills
+    the window-PVB and worst-corner fields from one stacked forward
+    over all corners.
     """
     corners = simulator.process_corners(mask)
     wafer = corners.nominal
@@ -73,6 +89,18 @@ def evaluate_mask(simulator: LithoSimulator, mask: np.ndarray,
         epe_violations = measure_epe(wafer, layout,
                                      threshold=epe_threshold).violations
 
+    window_pvband = worst_l2 = worst_epe = None
+    if condition_engine is not None:
+        corner_wafers = condition_engine.condition_wafers(mask)
+        window_pvband = window_pv_band_nm2(corner_wafers, pixel_nm)
+        corner_l2 = [squared_l2_nm2(w, target, pixel_nm)
+                     for w in corner_wafers]
+        worst_l2 = float(max(corner_l2))
+        if layout is not None:
+            worst_epe = max(
+                measure_epe(w, layout, threshold=epe_threshold).violations
+                for w in corner_wafers)
+
     return MaskEvaluation(
         name=name,
         l2_px=squared_l2(wafer, target),
@@ -82,6 +110,9 @@ def evaluate_mask(simulator: LithoSimulator, mask: np.ndarray,
         neck_defects=len(detect_necks(wafer, target, cd_px)),
         bridge_defects=len(detect_bridges(wafer, target)),
         runtime_seconds=runtime_seconds,
+        window_pvband_nm2=window_pvband,
+        worst_corner_l2_nm2=worst_l2,
+        worst_corner_epe=worst_epe,
     )
 
 

@@ -24,7 +24,9 @@ import numpy as np
 from ..core.flow import FlowResult, GanOpcFlow
 from ..core.generator import MaskGenerator
 from ..ilt.optimizer import ILTConfig, ILTOptimizer, ILTResult
+from ..litho.conditions import ConditionSet
 from ..litho.config import LithoConfig
+from ..litho.engine import LithoEngine
 from .pool import WorkerPool, attach_array, worker_engine, worker_state
 from .shm import ShmSpec, SharedArray
 
@@ -50,11 +52,13 @@ def _rebuild_generator(payload: Dict) -> MaskGenerator:
 # ----------------------------------------------------------------------
 def _flow_task(index: int, targets_spec: ShmSpec, out_spec: ShmSpec,
                litho_config: LithoConfig, refine_config: ILTConfig,
-               refine_iterations: Optional[int]):
+               refine_iterations: Optional[int],
+               conditions: Optional[ConditionSet] = None):
     """Run the full flow on one target of the shared stack."""
     generator = _rebuild_generator(worker_state())
     flow = GanOpcFlow(generator, litho_config, refine_config,
-                      engine=worker_engine(litho_config))
+                      engine=worker_engine(litho_config),
+                      conditions=conditions)
     targets = attach_array(targets_spec)
     result = flow.optimize(targets[index],
                            refine_iterations=refine_iterations)
@@ -71,7 +75,9 @@ def _flow_task(index: int, targets_spec: ShmSpec, out_spec: ShmSpec,
 
 def _table2_clip_task(slot: int, masks_spec: ShmSpec, grid: int,
                       litho_config: LithoConfig, ilt_iterations: int,
-                      refine_iterations: int):
+                      refine_iterations: int,
+                      conditions: Optional[ConditionSet] = None,
+                      pw_objective: str = "nominal"):
     """Evaluate ILT / GAN-OPC / PGAN-OPC on one benchmark clip."""
     from ..geometry.raster import rasterize
     from ..litho.simulator import LithoSimulator
@@ -81,6 +87,13 @@ def _table2_clip_task(slot: int, masks_spec: ShmSpec, grid: int,
     clip = state["clips"][slot]
     engine = worker_engine(litho_config)
     simulator = LithoSimulator(litho_config, engine=engine)
+    condition_engine = (LithoEngine.for_conditions(engine.kernels, conditions,
+                                                   engine.precision)
+                        if conditions is not None else None)
+    # With a nominal objective the corner stack is reporting-only (the
+    # optimizers keep the paper's nominal descent), matching the serial
+    # run_table2 path bit for bit.
+    descend_conditions = conditions if pw_objective != "nominal" else None
     target = (rasterize(clip.layout, grid) >= 0.5).astype(float)
     masks_out = attach_array(masks_spec)
 
@@ -88,25 +101,30 @@ def _table2_clip_task(slot: int, masks_spec: ShmSpec, grid: int,
     stages: Dict[str, Dict[str, float]] = {}
 
     ilt = ILTOptimizer(litho_config,
-                       ILTConfig(max_iterations=ilt_iterations),
-                       engine=engine)
+                       ILTConfig(max_iterations=ilt_iterations,
+                                 pw_objective=pw_objective),
+                       engine=engine, conditions=descend_conditions)
     started = time.perf_counter()
     ilt_result = ilt.optimize(target)
     ilt_runtime = time.perf_counter() - started
     evaluations["ILT"] = evaluate_mask(
         simulator, ilt_result.mask, target, layout=clip.layout,
-        name=clip.name, runtime_seconds=ilt_runtime)
+        name=clip.name, runtime_seconds=ilt_runtime,
+        condition_engine=condition_engine)
     stages["ILT"] = {"generation": 0.0, "refinement": ilt_runtime}
     masks_out[0, slot] = ilt_result.mask
 
-    refine_cfg = ILTConfig(max_iterations=refine_iterations, patience=4)
+    refine_cfg = ILTConfig(max_iterations=refine_iterations, patience=4,
+                           pw_objective=pw_objective)
     for method_index, method in enumerate(("GAN-OPC", "PGAN-OPC"), start=1):
         generator = _rebuild_generator(state[method])
-        flow = GanOpcFlow(generator, litho_config, refine_cfg, engine=engine)
+        flow = GanOpcFlow(generator, litho_config, refine_cfg, engine=engine,
+                          conditions=descend_conditions)
         flow_result = flow.optimize(target)
         evaluations[method] = evaluate_mask(
             simulator, flow_result.mask, target, layout=clip.layout,
-            name=clip.name, runtime_seconds=flow_result.runtime_seconds)
+            name=clip.name, runtime_seconds=flow_result.runtime_seconds,
+            condition_engine=condition_engine)
         stages[method] = {"generation": flow_result.generation_seconds,
                           "refinement": flow_result.refinement_seconds}
         masks_out[method_index, slot] = flow_result.mask
@@ -122,7 +140,9 @@ def parallel_flow(generator: MaskGenerator, targets: np.ndarray,
                   refine_iterations: Optional[int] = None,
                   workers: int = 2,
                   precision: Optional[str] = None,
-                  pool: Optional[WorkerPool] = None) -> List[FlowResult]:
+                  pool: Optional[WorkerPool] = None,
+                  conditions: Optional[ConditionSet] = None
+                  ) -> List[FlowResult]:
     """Fan :meth:`GanOpcFlow.optimize` over a target stack."""
     targets = np.asarray(targets, dtype=float)
     if targets.ndim != 3:
@@ -140,7 +160,8 @@ def parallel_flow(generator: MaskGenerator, targets: np.ndarray,
         reports = pool.map(
             _flow_task,
             [(i, shared_targets.spec, shared_out.spec, litho_config,
-              refine_config, refine_iterations) for i in range(n)],
+              refine_config, refine_iterations, conditions)
+             for i in range(n)],
             label="parallel.flow")
         out = np.array(shared_out.array, copy=True)
     finally:

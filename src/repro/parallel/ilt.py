@@ -35,6 +35,7 @@ import numpy as np
 
 from ..ilt.batched import BatchedILTOptimizer, BatchedILTResult
 from ..ilt.optimizer import ILTConfig, ILTOptimizer, ILTResult
+from ..litho.conditions import ConditionSet
 from ..litho.config import LithoConfig
 from .pool import PoolStats, WorkerPool, attach_array, worker_engine
 from .shm import ShmSpec, SharedArray
@@ -64,13 +65,15 @@ class ParallelILTResult:
 def _ilt_clip_task(index: int, targets_spec: ShmSpec,
                    initial_spec: Optional[ShmSpec], out_spec: ShmSpec,
                    litho_config: LithoConfig, ilt_config: ILTConfig,
-                   max_iterations: Optional[int]):
+                   max_iterations: Optional[int],
+                   conditions: Optional[ConditionSet] = None):
     """Optimize one clip; images go to shared memory, scalars return."""
     targets = attach_array(targets_spec)
     initial = (attach_array(initial_spec)[index]
                if initial_spec is not None else None)
     optimizer = ILTOptimizer(litho_config, ilt_config,
-                             engine=worker_engine(litho_config))
+                             engine=worker_engine(litho_config),
+                             conditions=conditions)
     result = optimizer.optimize(targets[index], initial_mask=initial,
                                 max_iterations=max_iterations)
     out = attach_array(out_spec)
@@ -83,11 +86,13 @@ def _ilt_clip_task(index: int, targets_spec: ShmSpec,
 
 def _ilt_shard_task(start: int, stop: int, targets_spec: ShmSpec,
                     out_spec: ShmSpec, litho_config: LithoConfig,
-                    ilt_config: ILTConfig, max_iterations: Optional[int]):
+                    ilt_config: ILTConfig, max_iterations: Optional[int],
+                    conditions: Optional[ConditionSet] = None):
     """Run the lockstep batched descent on ``targets[start:stop]``."""
     targets = attach_array(targets_spec)
     optimizer = BatchedILTOptimizer(litho_config, ilt_config,
-                                    engine=worker_engine(litho_config))
+                                    engine=worker_engine(litho_config),
+                                    conditions=conditions)
     result = optimizer.optimize(targets[start:stop],
                                 max_iterations=max_iterations)
     out = attach_array(out_spec)
@@ -106,7 +111,9 @@ def parallel_ilt(targets: np.ndarray,
                  precision: Optional[str] = None,
                  initial_masks: Optional[np.ndarray] = None,
                  max_iterations: Optional[int] = None,
-                 pool: Optional[WorkerPool] = None) -> ParallelILTResult:
+                 pool: Optional[WorkerPool] = None,
+                 conditions: Optional[ConditionSet] = None
+                 ) -> ParallelILTResult:
     """Per-clip ILT over a target stack, fanned across worker processes.
 
     Parameters
@@ -137,7 +144,8 @@ def parallel_ilt(targets: np.ndarray,
         from ..litho.kernels import build_kernels
         engine = LithoEngine.for_kernels(build_kernels(litho_config),
                                          precision=precision)
-        optimizer = ILTOptimizer(litho_config, ilt_config, engine=engine)
+        optimizer = ILTOptimizer(litho_config, ilt_config, engine=engine,
+                                 conditions=conditions)
         results = [optimizer.optimize(
                        targets[i],
                        initial_mask=(initial_masks[i]
@@ -163,7 +171,8 @@ def parallel_ilt(targets: np.ndarray,
             _ilt_clip_task,
             [(i, shared_targets.spec,
               shared_initial.spec if shared_initial is not None else None,
-              shared_out.spec, litho_config, ilt_config, max_iterations)
+              shared_out.spec, litho_config, ilt_config, max_iterations,
+              conditions)
              for i in range(n)],
             label="parallel.ilt")
         out = np.array(shared_out.array, copy=True)
@@ -211,7 +220,8 @@ def parallel_batched_ilt(targets: np.ndarray,
                          workers: int = 1,
                          precision: Optional[str] = None,
                          max_iterations: Optional[int] = None,
-                         pool: Optional[WorkerPool] = None
+                         pool: Optional[WorkerPool] = None,
+                         conditions: Optional[ConditionSet] = None
                          ) -> BatchedILTResult:
     """Sharded :class:`BatchedILTOptimizer` run (same result contract).
 
@@ -229,9 +239,10 @@ def parallel_batched_ilt(targets: np.ndarray,
         from ..litho.kernels import build_kernels
         engine = LithoEngine.for_kernels(build_kernels(litho_config),
                                          precision=precision)
-        return BatchedILTOptimizer(litho_config, ilt_config,
-                                   engine=engine).optimize(
-                                       targets, max_iterations=max_iterations)
+        return BatchedILTOptimizer(
+            litho_config, ilt_config, engine=engine,
+            conditions=conditions).optimize(targets,
+                                            max_iterations=max_iterations)
 
     started = time.perf_counter()
     grid = targets.shape[-1]
@@ -245,7 +256,7 @@ def parallel_batched_ilt(targets: np.ndarray,
         reports = pool.map(
             _ilt_shard_task,
             [(start, stop, shared_targets.spec, shared_out.spec,
-              litho_config, ilt_config, max_iterations)
+              litho_config, ilt_config, max_iterations, conditions)
              for start, stop in shard_bounds(n, pool.workers)],
             label="parallel.batched_ilt")
         masks = np.array(shared_out.array[0], copy=True)

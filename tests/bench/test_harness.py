@@ -97,6 +97,44 @@ class TestTable2:
             assert total >= runtime * 0.5
 
 
+class TestWindowTable2:
+    @pytest.fixture(scope="class")
+    def window_table2(self, pipeline, generators):
+        from repro.litho import ConditionSet
+        clips = iccad13_suite(pipeline.litho)[:2]
+        return run_table2(pipeline, generators, clips=clips,
+                          conditions=ConditionSet.dose_corners(
+                              pipeline.litho.dose_variation))
+
+    def test_nominal_run_has_no_window_metrics(self, table2):
+        assert not table2.has_window_metrics
+        assert table2.window_averages("ILT") is None
+
+    def test_window_metrics_populated(self, window_table2):
+        assert window_table2.has_window_metrics
+        for evals in window_table2.columns.values():
+            assert len(evals) == 2
+            for evaluation in evals:
+                assert evaluation.window_pvband_nm2 is not None
+                assert evaluation.worst_corner_l2_nm2 >= evaluation.l2_nm2
+
+    def test_window_averages_and_table(self, window_table2):
+        averages = window_table2.window_averages("PGAN-OPC")
+        assert averages["window_pvband_nm2"] >= 0.0
+        assert averages["worst_corner_l2_nm2"] > 0.0
+        text = window_table2.window_table()
+        for method in ("ILT", "GAN-OPC", "PGAN-OPC"):
+            assert method in text
+
+    def test_reporting_corners_keep_nominal_masks(self, table2,
+                                                  window_table2):
+        """--corners without a pw-objective only adds reporting: the
+        optimized masks are bit-exact with the nominal run."""
+        for method, masks in table2.masks.items():
+            for i, window_mask in enumerate(window_table2.masks[method][:2]):
+                np.testing.assert_array_equal(window_mask, masks[i])
+
+
 class TestFigures:
     def test_figure8_gallery_rows(self, pipeline, table2):
         rows = run_figure8(pipeline, table2)

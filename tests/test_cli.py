@@ -120,6 +120,24 @@ class TestTrain:
         assert main(["train", "--resume"]) == 2
         assert "requires --checkpoint-dir" in capsys.readouterr().err
 
+    def test_pretrain_with_corner_stack(self, tmp_path, capsys):
+        assert main(self._args(tmp_path, "--corners", "dose")) == 0
+        assert "pretrain: 2 iterations" in capsys.readouterr().out
+
+    def test_gan_with_litho_guidance(self, tmp_path, capsys):
+        args = self._args(tmp_path, "--corners", "dose",
+                          "--litho-weight", "0.1",
+                          "--pw-objective", "worst")
+        args[args.index("--phase") + 1] = "gan"
+        assert main(args) == 0
+        assert "gan: 2 iterations" in capsys.readouterr().out
+
+    def test_bad_corners_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self._args(tmp_path, "--corners", "bogus"))
+        assert excinfo.value.code == 2
+        assert "--corners" in capsys.readouterr().err
+
 
 class TestFlow:
     def test_runs_with_checkpoint(self, clip_file, tmp_path, capsys):
@@ -134,6 +152,22 @@ class TestFlow:
         stdout = capsys.readouterr().out
         assert "generation: " in stdout
         assert os.path.exists(out)
+
+    def test_corners_add_window_metrics(self, clip_file, tmp_path, capsys):
+        config = GanOpcConfig.small(64)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(0))
+        ckpt = str(tmp_path / "gen.npz")
+        nn.save_state(generator, ckpt)
+        out = str(tmp_path / "mask.pgm")
+        assert main(["flow", clip_file, ckpt, "--grid", "64",
+                     "--iterations", "5", "--out", out,
+                     "--corners", "dose",
+                     "--pw-objective", "weighted"]) == 0
+        stdout = capsys.readouterr().out
+        assert "window_pvband_nm2: " in stdout
+        assert "worst_corner_l2_nm2: " in stdout
+        assert "window_pvband_nm2: None" not in stdout
 
 
 class TestProfile:

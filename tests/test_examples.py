@@ -1,0 +1,37 @@
+"""Smoke tests: the shipped examples run end to end on tiny grids."""
+
+import importlib.util
+import os
+import sys
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def _load(name):
+    path = os.path.join(EXAMPLES, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_process_window_study_smoke(capsys):
+    study = _load("process_window_study")
+    windows = study.main(grid=32, ilt_iterations=5, verbose=False)
+    assert set(windows) == {"no-OPC (target as mask)", "SRAF-assisted",
+                            "ILT-optimized"}
+    for window in windows.values():
+        assert window.l2_error.shape == (3, 5)  # defocus rows x dose cols
+    assert capsys.readouterr().out == ""
+
+
+def test_quickstart_smoke(tmp_path):
+    quickstart = _load("quickstart")
+    results = quickstart.main(grid=32, mb_iterations=2, ilt_iterations=5,
+                              pretrain_iterations=2, refine_iterations=3,
+                              dataset_size=2, out_dir=str(tmp_path))
+    assert set(results) == {"no-OPC", "MB-OPC", "ILT", "GAN-OPC"}
+    for evaluation in results.values():
+        assert evaluation.l2_nm2 >= 0.0
+    assert (tmp_path / "ganopc_wafer.pgm").exists()
