@@ -352,6 +352,38 @@ def test_write_bench_substrate_record():
                                      pool=pool),
                 grid=ilt_grid, batch=ilt_batch, repeats=3)
 
+    # Tiled full-chip throughput: a 2x2-cell chip (64 px at 8 nm/px)
+    # through the halo-overlap tile decomposition, serial and (with
+    # real cores) fanned over the worker pool.  Tiles per second is the
+    # number a full-chip run divides into its tile count.
+    from repro.layoutgen import ChipConfig, synthesize_chip
+    from repro.geometry import binarize, rasterize
+    from repro.tiling import TilingConfig, tiled_ilt
+
+    tiling = TilingConfig(tile=32, halo=4)
+    tile_litho = LithoConfig.small(tiling.tile)
+    tile_ilt = ILTConfig(max_iterations=10)
+    chip = synthesize_chip(
+        ChipConfig(cells=2, cell_extent=256.0, fill_probability=1.0),
+        seed=5)
+    chip_target = binarize(rasterize(chip, 64))
+    n_tiles = tiling.grid_for(chip_target.shape[0]).rows ** 2
+    recorder.timeit(
+        f"tiling_ilt_serial/chip64/tile{tiling.tile}/halo{tiling.halo}",
+        lambda: tiled_ilt(chip_target, tiling, tile_litho, tile_ilt,
+                          workers=1),
+        grid=tiling.tile, batch=n_tiles, repeats=3)
+    if cores >= 4:
+        workers = 4
+        with WorkerPool(workers, litho_config=tile_litho) as pool:
+            tiled_ilt(chip_target, tiling, tile_litho, tile_ilt, pool=pool)
+            recorder.timeit(
+                f"tiling_ilt_parallel/chip64/tile{tiling.tile}"
+                f"/halo{tiling.halo}/workers{workers}",
+                lambda: tiled_ilt(chip_target, tiling, tile_litho,
+                                  tile_ilt, pool=pool),
+                grid=tiling.tile, batch=n_tiles, repeats=3)
+
     # Per-stage breakdown of the end-to-end flow: generator inference
     # vs ILT refinement (the split behind Table 2's runtime column).
     flow_grid = 32
@@ -383,6 +415,8 @@ def test_write_bench_substrate_record():
     assert (f"engine_condition_loop_forward/grid{grid}/batch8/corners4"
             in entries)
     assert f"serial_ilt/grid{ilt_grid}/batch{ilt_batch}" in entries
+    assert (f"tiling_ilt_serial/chip64/tile{tiling.tile}/halo{tiling.halo}"
+            in entries)
     assert f"flow_generation/grid{flow_grid}" in entries
     for name, entry in entries.items():
         assert entry["seconds"] >= 0.0, name

@@ -70,10 +70,27 @@ def main(argv=None) -> int:
     parser.add_argument("--skip", action="append", default=[],
                         help="substring of entry names to ignore "
                              "(repeatable)")
+    parser.add_argument("--require", action="append", default=[],
+                        help="entry-name prefix that must be present in "
+                             "both records (repeatable); guards against a "
+                             "benchmark family silently disappearing from "
+                             "the gate")
     args = parser.parse_args(argv)
 
     baseline = load_entries(args.baseline)
     candidate = load_entries(args.candidate)
+    missing = [
+        f"{which}: no entry starts with {prefix!r}"
+        for prefix in args.require
+        for which, entries in (("baseline", baseline),
+                               ("candidate", candidate))
+        if not any(name.startswith(prefix) for name in entries)
+    ]
+    if missing:
+        print("FAIL: required benchmark entries missing:")
+        for line in missing:
+            print(f"  {line}")
+        return 1
     lines, regressions = compare(baseline, candidate, args.threshold,
                                  args.skip)
     print(f"throughput vs baseline (threshold: -{args.threshold:.0%}):")

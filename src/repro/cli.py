@@ -4,12 +4,16 @@ Exposes the main engines as shell commands so the repo is usable
 without writing Python:
 
 * ``synthesize`` — generate design-rule-clean clips as ``.glp`` files;
+* ``chip``       — synthesize a chip-scale layout (cell array plus
+  seam-crossing spanning wires) for the tiled flow;
 * ``simulate``   — lithography-simulate a mask and report metrics;
 * ``ilt``        — optimize a clip's mask with the ILT engine;
 * ``sraf``       — insert assist features into a clip;
 * ``train``      — run the training loops with the robustness
   substrate (checkpoint/resume, divergence guards, JSONL telemetry);
 * ``flow``       — run the GAN-OPC flow with a trained checkpoint;
+  ``flow --tiled`` (and ``ilt --tiled``) scale past the engine grid by
+  halo-overlap tile decomposition (``--tile-size --halo --workers``);
 * ``table2``     — run the full Table 2 experiment at a chosen scale;
 * ``profile``    — run a small end-to-end flow under the observability
   layer and emit a Perfetto-loadable Chrome trace plus per-op tables.
@@ -111,6 +115,60 @@ def cmd_synthesize(args) -> int:
     return 0
 
 
+def cmd_chip(args) -> int:
+    from .geometry import glp
+    from .layoutgen import ChipConfig, synthesize_chip
+
+    config = ChipConfig(cells=args.cells, cell_extent=args.cell_extent,
+                        fill_probability=args.fill)
+    chip = synthesize_chip(config, seed=args.seed, name="chip")
+    glp.save(chip, args.out)
+    pixel_nm = 8.0
+    chip_grid = int(round(config.extent / pixel_nm))
+    print(f"{args.out}: {args.cells}x{args.cells} cells, "
+          f"{len(chip)} shapes, extent {config.extent:.0f} nm "
+          f"({chip_grid}px at {pixel_nm:.0f} nm/px)")
+    return 0
+
+
+def _tiled_config(args):
+    from .tiling import TilingConfig
+    return TilingConfig(tile=args.tile_size, halo=args.halo,
+                        blend=args.blend)
+
+
+def _chip_target(path: str, tiling_config, litho):
+    """Load a layout and rasterize it at the chip scale.
+
+    The chip raster keeps the tile litho config's pixel size, so the
+    chip grid is the layout extent over the pixel — not limited to the
+    engine grid.
+    """
+    from .geometry import binarize, glp, rasterize
+    layout = glp.load(path)
+    chip_grid = max(int(round(layout.extent / litho.pixel_nm)), 1)
+    return layout, binarize(rasterize(layout, chip_grid))
+
+
+def _print_tiled(result, out: Optional[str]) -> None:
+    from .bench import write_pgm
+
+    grid = result.tile_grid
+    print(f"tiles: {result.tiles_total} "
+          f"({grid.rows}x{grid.cols}, tile {grid.tile}px, "
+          f"halo {grid.halo}px, core {grid.core}px), "
+          f"skipped {result.tiles_skipped} empty")
+    print(f"chip grid: {grid.chip_grid}px")
+    print(f"core l2: {result.l2:.1f}")
+    print(f"runtime: {result.runtime_seconds:.3f}s "
+          f"({result.workers} workers)")
+    if result.pool_stats is not None:
+        print(result.pool_stats.format_table())
+    if out:
+        write_pgm(result.mask, out)
+        print(f"mask written to {out}")
+
+
 def cmd_simulate(args) -> int:
     from .bench import write_pgm
     from .litho import LithoSimulator
@@ -144,6 +202,18 @@ def cmd_ilt(args) -> int:
     from .ilt import ILTConfig, ILTOptimizer
     from .litho import LithoSimulator
     from .metrics import evaluate_mask
+
+    if args.tiled:
+        from .litho import LithoConfig
+        from .tiling import tiled_ilt
+        tiling = _tiled_config(args)
+        litho = LithoConfig.small(tiling.tile)
+        _, target = _chip_target(args.clip, tiling, litho)
+        result = tiled_ilt(target, tiling, litho,
+                           ILTConfig(max_iterations=args.iterations),
+                           workers=args.workers, precision=args.precision)
+        _print_tiled(result, args.out)
+        return 0
 
     litho = _litho(args)
     engine = _engine(litho, args.precision)
@@ -263,6 +333,24 @@ def cmd_flow(args) -> int:
     from .litho import LithoSimulator
     from .metrics import evaluate_mask
     from .runtime import RunLogger
+
+    if args.tiled:
+        from .litho import LithoConfig
+        from .tiling import tiled_flow
+        tiling = _tiled_config(args)
+        litho = LithoConfig.small(tiling.tile)
+        _, target = _chip_target(args.clip, tiling, litho)
+        config = GanOpcConfig.small(litho.grid)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(0))
+        nn.load_state(generator, args.checkpoint)
+        with _trace_to(args.trace_dir, "flow"):
+            result = tiled_flow(
+                generator, target, tiling, litho,
+                ILTConfig(max_iterations=args.iterations, patience=4),
+                workers=args.workers, precision=args.precision)
+        _print_tiled(result, args.out)
+        return 0
 
     litho = _litho(args)
     engine = _engine(litho, args.precision)
@@ -439,6 +527,21 @@ def _add_workers(p) -> None:
                         "(default: 1, serial)")
 
 
+def _add_tiling(p) -> None:
+    p.add_argument("--tiled", action="store_true",
+                   help="decompose the layout into halo-overlap tiles "
+                        "and stitch per-tile results (chip-scale runs)")
+    p.add_argument("--tile-size", type=int, default=64,
+                   help="tile window size in px, the litho engine grid "
+                        "(default: 64)")
+    p.add_argument("--halo", type=int, default=8,
+                   help="overlap ring in px around each tile core "
+                        "(default: 8)")
+    p.add_argument("--blend", type=int, default=0,
+                   help="feather width in px for stitching the relaxed "
+                        "mask (default: 0, hard core crop)")
+
+
 def _add_corners(p, default_objective: str = "nominal") -> None:
     choices = ("nominal", "weighted", "worst")
     if default_objective != "nominal":
@@ -466,6 +569,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prefix", default="clip-")
     p.set_defaults(func=cmd_synthesize)
 
+    p = sub.add_parser(
+        "chip", help="synthesize a chip-scale layout for the tiled flow")
+    p.add_argument("--cells", type=int, default=4,
+                   help="cells per side (default: 4)")
+    p.add_argument("--cell-extent", type=float, default=512.0,
+                   help="cell side in nm (default: 512)")
+    p.add_argument("--fill", type=float, default=0.9,
+                   help="probability a cell receives geometry "
+                        "(default: 0.9)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="chip.glp")
+    p.set_defaults(func=cmd_chip)
+
     p = sub.add_parser("simulate", help="simulate a mask against a clip")
     p.add_argument("clip", help="target layout (.glp)")
     p.add_argument("--mask", help="mask image (.pgm); default: the target")
@@ -480,6 +596,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=150)
     p.add_argument("--out", default="mask.pgm")
     _add_precision(p)
+    _add_workers(p)
+    _add_tiling(p)
     p.set_defaults(func=cmd_ilt)
 
     p = sub.add_parser("sraf", help="insert assist features into a clip")
@@ -542,6 +660,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "stream) under this directory")
     p.add_argument("--out", default="mask.pgm")
     _add_precision(p)
+    _add_workers(p)
+    _add_tiling(p)
     _add_corners(p)
     p.set_defaults(func=cmd_flow)
 

@@ -31,23 +31,46 @@ def rasterize(layout: Layout, grid: int, antialias: bool = True) -> np.ndarray:
     """
     if grid < 1:
         raise ValueError(f"grid must be >= 1, got {grid}")
+    return rasterize_region(layout, grid, 0, grid, 0, grid,
+                            antialias=antialias)
+
+
+def rasterize_region(layout: Layout, grid: int,
+                     row0: int, row1: int, col0: int, col1: int,
+                     antialias: bool = True) -> np.ndarray:
+    """Render the pixel window ``[row0:row1, col0:col1]`` of the
+    monolithic ``grid x grid`` raster of a layout.
+
+    Coverage is computed in *global* pixel coordinates, so the result
+    is bit-exact equal to ``rasterize(layout, grid)[row0:row1,
+    col0:col1]`` — the contract the tiling layer's property tests
+    assert.  This is what lets a full-chip flow extract engine-sized
+    tile windows (core plus halo) without ever materializing the
+    monolithic raster.
+    """
+    if grid < 1:
+        raise ValueError(f"grid must be >= 1, got {grid}")
+    if not (0 <= row0 < row1 <= grid and 0 <= col0 < col1 <= grid):
+        raise ValueError(
+            f"region [{row0}:{row1}, {col0}:{col1}] outside raster "
+            f"of grid {grid}")
     pixel = layout.extent / grid
-    image = np.zeros((grid, grid), dtype=float)
+    image = np.zeros((row1 - row0, col1 - col0), dtype=float)
     for rect in layout.rects:
         if antialias:
-            _paint_antialiased(image, rect, pixel)
+            _paint_antialiased(image, rect, pixel, row0, row1, col0, col1)
         else:
-            _paint_centers(image, rect, pixel)
+            _paint_centers(image, rect, pixel, row0, row1, col0, col1)
     return np.clip(image, 0.0, 1.0)
 
 
-def _paint_antialiased(image: np.ndarray, rect: Rect, pixel: float) -> None:
-    grid = image.shape[0]
-    # Continuous pixel coordinates of the rect.
+def _paint_antialiased(image: np.ndarray, rect: Rect, pixel: float,
+                       row0: int, row1: int, col0: int, col1: int) -> None:
+    # Continuous pixel coordinates of the rect (global frame).
     x0, x1 = rect.x0 / pixel, rect.x1 / pixel
     y0, y1 = rect.y0 / pixel, rect.y1 / pixel
-    ix0, ix1 = max(int(np.floor(x0)), 0), min(int(np.ceil(x1)), grid)
-    iy0, iy1 = max(int(np.floor(y0)), 0), min(int(np.ceil(y1)), grid)
+    ix0, ix1 = max(int(np.floor(x0)), col0), min(int(np.ceil(x1)), col1)
+    iy0, iy1 = max(int(np.floor(y0)), row0), min(int(np.ceil(y1)), row1)
     if ix0 >= ix1 or iy0 >= iy1:
         return
     cols = np.arange(ix0, ix1)
@@ -56,17 +79,18 @@ def _paint_antialiased(image: np.ndarray, rect: Rect, pixel: float) -> None:
     cover_y = np.minimum(rows + 1.0, y1) - np.maximum(rows, y0)
     cover_x = np.clip(cover_x, 0.0, 1.0)
     cover_y = np.clip(cover_y, 0.0, 1.0)
-    image[iy0:iy1, ix0:ix1] += np.outer(cover_y, cover_x)
+    image[iy0 - row0:iy1 - row0,
+          ix0 - col0:ix1 - col0] += np.outer(cover_y, cover_x)
 
 
-def _paint_centers(image: np.ndarray, rect: Rect, pixel: float) -> None:
-    grid = image.shape[0]
-    ix0 = max(int(np.ceil(rect.x0 / pixel - 0.5)), 0)
-    ix1 = min(int(np.floor(rect.x1 / pixel - 0.5)) + 1, grid)
-    iy0 = max(int(np.ceil(rect.y0 / pixel - 0.5)), 0)
-    iy1 = min(int(np.floor(rect.y1 / pixel - 0.5)) + 1, grid)
+def _paint_centers(image: np.ndarray, rect: Rect, pixel: float,
+                   row0: int, row1: int, col0: int, col1: int) -> None:
+    ix0 = max(int(np.ceil(rect.x0 / pixel - 0.5)), col0)
+    ix1 = min(int(np.floor(rect.x1 / pixel - 0.5)) + 1, col1)
+    iy0 = max(int(np.ceil(rect.y0 / pixel - 0.5)), row0)
+    iy1 = min(int(np.floor(rect.y1 / pixel - 0.5)) + 1, row1)
     if ix0 < ix1 and iy0 < iy1:
-        image[iy0:iy1, ix0:ix1] = 1.0
+        image[iy0 - row0:iy1 - row0, ix0 - col0:ix1 - col0] = 1.0
 
 
 def average_pool(image: np.ndarray, factor: int) -> np.ndarray:

@@ -5,8 +5,10 @@ Rule-driven random M1 topology synthesis under the Table 1 design rules
 ground truth (:mod:`dataset`).
 """
 
+from .chip import ChipConfig, synthesize_chip
 from .dataset import SyntheticDataset, TargetMaskPair
 from .topology import LayoutSynthesizer, TopologyConfig
 
 __all__ = ["TopologyConfig", "LayoutSynthesizer",
-           "SyntheticDataset", "TargetMaskPair"]
+           "SyntheticDataset", "TargetMaskPair",
+           "ChipConfig", "synthesize_chip"]

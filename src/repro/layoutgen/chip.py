@@ -1,0 +1,147 @@
+"""Synthetic chip-scale layouts for the tiled full-chip flow.
+
+Scales the clip synthesizer of :mod:`~repro.layoutgen.topology` to
+layouts far beyond one engine window: an ``n x n`` array of
+independently synthesized cells (each a design-rule-clean M1 clip with
+its own child seed, so any cell regenerates independently), plus
+*spanning wires* routed along the margin channels between cells so
+that geometry crosses tile seams — without them a cell-aligned tiling
+would make the stitch-parity tests vacuous.
+
+The chip is deliberately sparse-able: ``fill_probability < 1`` leaves
+empty cells, exercising the tiled runner's empty-window skip at scale
+(a thousands-of-tiles chip is mostly field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.layout import Layout
+from ..geometry.shapes import Rect
+from .topology import LayoutSynthesizer, TopologyConfig
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Parameters of the synthetic chip.
+
+    Attributes
+    ----------
+    cells:
+        Cells per side; the chip spans ``cells * cell_extent`` nm.
+    cell_extent:
+        Side of one cell in nm (one or a few engine tiles).
+    fill_probability:
+        Chance a cell receives synthesized geometry; the rest stay
+        empty field.
+    spanning_wire_probability:
+        Chance each inter-cell channel carries a full-length wire
+        crossing every perpendicular tile seam.
+    wire_width:
+        Spanning-wire width in nm (defaults to the cell design rules'
+        critical dimension when 0).
+    topology:
+        Per-cell synthesis template; its ``extent`` is replaced by
+        ``cell_extent``.
+    """
+
+    cells: int = 4
+    cell_extent: float = 512.0
+    fill_probability: float = 0.9
+    spanning_wire_probability: float = 1.0
+    wire_width: float = 0.0
+    topology: Optional[TopologyConfig] = None
+
+    def __post_init__(self):
+        if self.cells < 1:
+            raise ValueError(f"cells must be >= 1, got {self.cells}")
+        if self.cell_extent <= 0:
+            raise ValueError(
+                f"cell_extent must be positive, got {self.cell_extent}")
+        if not 0.0 <= self.fill_probability <= 1.0:
+            raise ValueError("fill_probability must be in [0, 1]")
+        if not 0.0 <= self.spanning_wire_probability <= 1.0:
+            raise ValueError("spanning_wire_probability must be in [0, 1]")
+        if self.wire_width < 0:
+            raise ValueError("wire_width must be >= 0")
+
+    @property
+    def extent(self) -> float:
+        return self.cells * self.cell_extent
+
+    def cell_topology(self) -> TopologyConfig:
+        if self.topology is None:
+            # Scale the keep-out border down with the cell so small
+            # cells (a single engine tile) stay synthesizable.
+            return TopologyConfig(extent=self.cell_extent,
+                                  margin=min(120.0, self.cell_extent / 8.0))
+        template = self.topology
+        if template.extent != self.cell_extent:
+            template = TopologyConfig(
+                extent=self.cell_extent, rules=template.rules,
+                track_skip_probability=template.track_skip_probability,
+                max_width_factor=template.max_width_factor,
+                min_segment_factor=template.min_segment_factor,
+                max_segment_factor=template.max_segment_factor,
+                gap_jitter=template.gap_jitter,
+                stub_probability=template.stub_probability,
+                margin=template.margin)
+        return template
+
+
+def synthesize_chip(config: Optional[ChipConfig] = None, seed: int = 0,
+                    name: str = "chip") -> Layout:
+    """Synthesize one chip-scale layout (deterministic in ``seed``)."""
+    config = config or ChipConfig()
+    topology = config.cell_topology()
+    synthesizer = LayoutSynthesizer(topology)
+    rules = topology.rules
+    if config.wire_width:
+        width = config.wire_width
+        if width >= 2.0 * topology.margin:
+            raise ValueError(
+                f"wire_width {width} does not fit the "
+                f"{2.0 * topology.margin}nm channel between cell margins")
+    else:
+        # Default: the critical dimension, narrowed if the margin
+        # channel of a small cell cannot hold a full-CD wire.
+        width = min(rules.critical_dimension, topology.margin)
+
+    root = np.random.SeedSequence(seed)
+    chip_rng = np.random.default_rng(root)
+    cell_seeds = root.spawn(config.cells * config.cells)
+
+    chip = Layout(extent=config.extent, name=name)
+    for row in range(config.cells):
+        for col in range(config.cells):
+            child = cell_seeds[row * config.cells + col]
+            if chip_rng.random() >= config.fill_probability:
+                continue
+            cell = synthesizer.generate(np.random.default_rng(child),
+                                        name=f"{name}-r{row}c{col}")
+            dx = col * config.cell_extent
+            dy = row * config.cell_extent
+            chip.extend(rect.translated(dx, dy) for rect in cell.rects)
+
+    # Spanning wires down the inter-cell margin channels: each channel
+    # is 2*margin wide and free of cell geometry by construction, so
+    # the wire (with jitter) can never collide with a cell pattern.
+    margin = topology.margin
+    jitter_span = max(margin - width, 0.0)
+    for boundary in range(1, config.cells):
+        at = boundary * config.cell_extent
+        if chip_rng.random() < config.spanning_wire_probability:
+            offset = float(chip_rng.uniform(-jitter_span / 2.0,
+                                            jitter_span / 2.0))
+            x0 = at + offset - width / 2.0
+            chip.add(Rect(x0, margin, x0 + width, config.extent - margin))
+        if chip_rng.random() < config.spanning_wire_probability:
+            offset = float(chip_rng.uniform(-jitter_span / 2.0,
+                                            jitter_span / 2.0))
+            y0 = at + offset - width / 2.0
+            chip.add(Rect(margin, y0, config.extent - margin, y0 + width))
+    return chip

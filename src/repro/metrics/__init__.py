@@ -12,6 +12,7 @@ from .l2 import squared_l2, squared_l2_nm2
 from .pvband import (mask_pv_band, mask_window_pv_band, pv_band, pv_band_nm2,
                      window_band, window_pv_band, window_pv_band_nm2)
 from .report import MaskEvaluation, comparison_table, evaluate_mask
+from .seam import SeamReport, seam_band, seam_report
 
 __all__ = [
     "squared_l2", "squared_l2_nm2",
@@ -22,4 +23,5 @@ __all__ = [
     "NeckDefect", "BridgeDefect", "detect_necks", "detect_bridges",
     "MaskEvaluation", "evaluate_mask", "comparison_table",
     "edge_length", "corner_count", "shot_count_estimate",
+    "SeamReport", "seam_band", "seam_report",
 ]

@@ -1,0 +1,94 @@
+"""Reassemble per-tile images into a chip raster.
+
+Two stitch rules (DESIGN.md §12):
+
+* :func:`stitch_cores` — exact core partition.  Each chip pixel is
+  written by exactly one tile (its core owner), so stitching raw
+  target windows is bit-exact versus the monolithic raster, and
+  stitching binary masks keeps them binary.  This is the rule for the
+  final mask.
+* :func:`stitch_feathered` — weighted cross-fade for *relaxed* (gray)
+  images.  Each tile's contribution extends ``blend`` px past its core
+  with a linear ramp; overlapping contributions are normalized by
+  their accumulated weight, so seams in the relaxed mask fade smoothly
+  instead of stepping.  ``blend=0`` degenerates to the core rule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .grid import TileGrid
+
+
+def stitch_cores(windows: Sequence[np.ndarray], grid: TileGrid) -> np.ndarray:
+    """Write each tile's core into its chip slot (exact partition)."""
+    tiles = grid.tiles()
+    if len(windows) != len(tiles):
+        raise ValueError(
+            f"got {len(windows)} windows for {len(tiles)} tiles")
+    chip = np.zeros((grid.chip_grid, grid.chip_grid), dtype=float)
+    for tile, window in zip(tiles, windows):
+        window = np.asarray(window)
+        if window.shape != (tile.size, tile.size):
+            raise ValueError(
+                f"tile {tile.index} window shape {window.shape} != "
+                f"({tile.size}, {tile.size})")
+        chip[tile.core_slices()] = window[tile.local_core_slices()]
+    return chip
+
+
+def _ramp(length: int, start: int, stop: int, blend: int) -> np.ndarray:
+    """1-D trapezoid weight over window-local pixels ``[0, length)``.
+
+    Weight is 1 inside the core ``[start, stop)`` and falls off
+    linearly outside it, hitting zero ``blend + 1`` pixels out — so a
+    tile contributes up to ``blend`` pixels past its core, where the
+    neighbor's ramp overlaps it and the accumulated weight in
+    :func:`stitch_feathered` cross-fades the two.
+    """
+    positions = np.arange(length, dtype=float)
+    outside = np.maximum(
+        np.maximum(start - positions, positions - (stop - 1)), 0.0)
+    return np.clip(1.0 - outside / (blend + 1), 0.0, 1.0)
+
+
+def stitch_feathered(windows: Sequence[np.ndarray], grid: TileGrid,
+                     blend: int) -> np.ndarray:
+    """Weighted cross-fade stitch for relaxed (gray) tile images."""
+    if blend < 0:
+        raise ValueError(f"blend must be >= 0, got {blend}")
+    if blend > grid.halo:
+        raise ValueError(
+            f"blend {blend} exceeds halo {grid.halo}: a tile can only "
+            f"contribute pixels it simulated")
+    if blend == 0:
+        return stitch_cores(windows, grid)
+    tiles = grid.tiles()
+    if len(windows) != len(tiles):
+        raise ValueError(
+            f"got {len(windows)} windows for {len(tiles)} tiles")
+    chip = np.zeros((grid.chip_grid, grid.chip_grid), dtype=float)
+    weight = np.zeros_like(chip)
+    for tile, window in zip(tiles, windows):
+        window = np.asarray(window, dtype=float)
+        ramp_rows = _ramp(tile.size, tile.halo,
+                          tile.halo + tile.core_height, blend)
+        ramp_cols = _ramp(tile.size, tile.halo,
+                          tile.halo + tile.core_width, blend)
+        tile_weight = np.outer(ramp_rows, ramp_cols)
+        row0 = max(tile.window_row0, 0)
+        row1 = min(tile.window_row1, grid.chip_grid)
+        col0 = max(tile.window_col0, 0)
+        col1 = min(tile.window_col1, grid.chip_grid)
+        if row0 >= row1 or col0 >= col1:
+            continue
+        local = (slice(row0 - tile.window_row0, row1 - tile.window_row0),
+                 slice(col0 - tile.window_col0, col1 - tile.window_col0))
+        chip[row0:row1, col0:col1] += (window[local] * tile_weight[local])
+        weight[row0:row1, col0:col1] += tile_weight[local]
+    covered = weight > 0.0
+    chip[covered] /= weight[covered]
+    return chip

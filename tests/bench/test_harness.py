@@ -92,9 +92,12 @@ class TestTable2:
             total = stages["generation"] + stages["refinement"]
             # Stage split covers (almost all of) the reported runtime;
             # the ILT column times the optimize call from outside, so
-            # allow bookkeeping slack around the stage sum.
+            # allow bookkeeping slack around the stage sum.  Both sides
+            # are wall-clock on tiny workloads, so the lower bound is
+            # generous — it guards against the split dropping a stage,
+            # not against scheduler noise.
             assert total <= runtime * 1.001
-            assert total >= runtime * 0.5
+            assert total >= runtime * 0.25
 
 
 class TestWindowTable2:

@@ -100,3 +100,21 @@ class TestGallery:
     def test_unequal_rows_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             save_gallery([[np.ones((2, 2))], []], str(tmp_path / "g.pgm"))
+
+
+class TestMontagePartialRows:
+    def test_unfilled_cells_keep_pad_value(self):
+        tiled = montage([np.ones((2, 2))] * 3, columns=2, pad=0,
+                        pad_value=0.25)
+        assert tiled.shape == (4, 4)
+        np.testing.assert_allclose(tiled[2:, 2:], 0.25)
+
+
+class TestAsciiCurveLabel:
+    def test_label_and_count_rendered(self):
+        chart = ascii_curve([3.0, 2.0, 1.0], label="loss")
+        assert "loss (n=3)" in chart
+
+    def test_exact_width_series_not_downsampled(self):
+        chart = ascii_curve(list(range(70)), width=70)
+        assert "(n=70)" in chart

@@ -1,0 +1,117 @@
+"""Chip-scale synthetic layout generator."""
+
+import pytest
+
+from repro.layoutgen import ChipConfig, synthesize_chip
+from repro.layoutgen.topology import TopologyConfig
+
+
+class TestChipConfig:
+    def test_extent(self):
+        assert ChipConfig(cells=3, cell_extent=256.0).extent == 768.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChipConfig(cells=0)
+        with pytest.raises(ValueError):
+            ChipConfig(cell_extent=0.0)
+        with pytest.raises(ValueError):
+            ChipConfig(fill_probability=1.5)
+        with pytest.raises(ValueError):
+            ChipConfig(spanning_wire_probability=-0.1)
+        with pytest.raises(ValueError):
+            ChipConfig(wire_width=-1.0)
+
+    def test_cell_topology_margin_scales_down(self):
+        # Default template keeps 120 nm margins for big cells ...
+        assert ChipConfig(cell_extent=2048.0).cell_topology().margin == 120.0
+        # ... but shrinks them for single-tile cells so synthesis
+        # still has room between the keep-out borders.
+        small = ChipConfig(cell_extent=256.0).cell_topology()
+        assert small.margin == 32.0
+        assert small.extent == 256.0
+
+    def test_explicit_topology_extent_is_replaced(self):
+        template = TopologyConfig(extent=1000.0, margin=40.0)
+        config = ChipConfig(cell_extent=512.0, topology=template)
+        topology = config.cell_topology()
+        assert topology.extent == 512.0
+        assert topology.margin == 40.0
+
+
+class TestSynthesizeChip:
+    def test_deterministic_in_seed(self):
+        config = ChipConfig(cells=2, cell_extent=256.0)
+        a = synthesize_chip(config, seed=11)
+        b = synthesize_chip(config, seed=11)
+        c = synthesize_chip(config, seed=12)
+        assert a.rects == b.rects
+        assert a.rects != c.rects
+
+    def test_layout_is_valid_and_contained(self):
+        chip = synthesize_chip(ChipConfig(cells=3, cell_extent=256.0),
+                               seed=1)
+        chip.validate()
+        assert chip.extent == 768.0
+
+    def test_spanning_wires_cross_cell_boundaries(self):
+        config = ChipConfig(cells=2, cell_extent=256.0,
+                            fill_probability=0.0,
+                            spanning_wire_probability=1.0)
+        chip = synthesize_chip(config, seed=0)
+        # No cells filled: every rect is a spanning wire crossing the
+        # single internal boundary at 256 nm.
+        assert len(chip) == 2
+        boundary = 256.0
+        assert any(r.x0 < boundary < r.x1 for r in chip.rects)
+        assert any(r.y0 < boundary < r.y1 for r in chip.rects)
+
+    def test_fill_probability_zero_and_wire_probability_zero(self):
+        chip = synthesize_chip(
+            ChipConfig(cells=3, cell_extent=256.0, fill_probability=0.0,
+                       spanning_wire_probability=0.0), seed=0)
+        assert len(chip) == 0
+
+    def test_fill_probability_sparsifies(self):
+        config = ChipConfig(cells=4, cell_extent=256.0)
+        dense = synthesize_chip(config, seed=2)
+        sparse = synthesize_chip(
+            ChipConfig(cells=4, cell_extent=256.0, fill_probability=0.2,
+                       spanning_wire_probability=0.0), seed=2)
+        assert len(sparse) < len(dense)
+
+    def test_explicit_wire_width(self):
+        chip = synthesize_chip(
+            ChipConfig(cells=2, cell_extent=256.0, fill_probability=0.0,
+                       wire_width=20.0), seed=0)
+        widths = [min(r.x1 - r.x0, r.y1 - r.y0) for r in chip.rects]
+        assert widths == pytest.approx([20.0] * len(chip))
+        assert len(chip) > 0
+
+    def test_wire_width_must_fit_channel(self):
+        with pytest.raises(ValueError):
+            synthesize_chip(ChipConfig(cells=2, cell_extent=256.0,
+                                       wire_width=64.0))
+
+    def test_cells_regenerate_independently(self):
+        """Child seeds are spawned per cell slot, so an identical cell
+        grid with the same seed places identical geometry per cell."""
+        base = synthesize_chip(
+            ChipConfig(cells=2, cell_extent=256.0,
+                       spanning_wire_probability=0.0), seed=7)
+        again = synthesize_chip(
+            ChipConfig(cells=2, cell_extent=256.0,
+                       spanning_wire_probability=0.0), seed=7)
+        assert base.rects == again.rects
+        cell00 = [r for r in base.rects if r.x1 <= 256.0 and r.y1 <= 256.0]
+        assert cell00  # the seed fills cell (0, 0)
+
+
+def test_chip_rasterizes_beyond_engine_grids():
+    chip = synthesize_chip(ChipConfig(cells=3, cell_extent=256.0), seed=3)
+    from repro.geometry import rasterize
+
+    grid = int(round(chip.extent / 8.0))
+    image = rasterize(chip, grid)
+    assert image.shape == (grid, grid)
+    assert image.max() > 0.0

@@ -86,3 +86,43 @@ class TestOptimize:
     def test_mask_binary(self, engine):
         result = engine.optimize(_clip())
         assert set(np.unique(result.mask)) <= {0.0, 1.0}
+
+
+class TestEpeClamping:
+    def test_all_dark_wafer_clamps_to_negative_range(self, engine):
+        from repro.opc.fragments import fragment_layout
+
+        layout = _clip()
+        segments = fragment_layout(layout, 40.0)
+        wafer = np.zeros((64, 64))
+        epes = engine.measure_segment_epes(wafer, layout, segments)
+        assert np.all(epes == -engine.config.search_range)
+
+    def test_all_bright_wafer_clamps_to_positive_range(self, litho64,
+                                                       kernels64):
+        from repro.opc.fragments import fragment_layout
+
+        # Short search range keeps the outward walk inside the raster,
+        # so a fully-bright wafer yields +inf -> clamped to +range.
+        engine = ModelBasedOPC(litho64,
+                               MbOpcConfig(iterations=1, search_range=40.0),
+                               kernels=kernels64)
+        layout = _clip()
+        segments = fragment_layout(layout, 40.0)
+        wafer = np.ones((64, 64))
+        epes = engine.measure_segment_epes(wafer, layout, segments)
+        assert np.all(epes == engine.config.search_range)
+
+
+class TestStripWindowClipping:
+    def test_strip_displaced_outside_window_is_skipped(self, engine):
+        from repro.opc.fragments import EdgeSegment
+
+        layout = Layout(extent=512.0, rects=[Rect(0.0, 104, 104, 184)])
+        base = (engine.mask_from_segments(layout, []) >= 0.5)
+        # An edge on the window boundary pushed outward sweeps a strip
+        # entirely outside the clip: intersection fails, strip skipped.
+        segment = EdgeSegment(0, (0.0, 104.0), (0.0, 184.0), (-1, 0),
+                              offset=16.0)
+        mask = engine.mask_from_segments(layout, [segment]) >= 0.5
+        assert np.array_equal(mask, base)

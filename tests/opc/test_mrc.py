@@ -120,3 +120,26 @@ class TestCleanupMask:
         before = squared_l2(sim32.wafer_image(result.mask), target)
         after = squared_l2(sim32.wafer_image(cleaned), target)
         assert after <= before + 8
+
+
+class TestEdgeCases:
+    def test_empty_mask_is_clean(self):
+        report = check_mask(np.zeros((32, 32)), PIXEL)
+        assert report.clean
+        assert report.total == 0
+
+    def test_large_enclosed_hole_is_not_a_pinhole(self):
+        mask = np.zeros((32, 32))
+        mask[2:30, 2:30] = 1.0
+        mask[8:24, 8:24] = 0.0  # 16x16 px = (128nm)^2 >= min_area
+        report = check_mask(mask, PIXEL,
+                            MrcConfig(min_feature=16.0, min_space=16.0,
+                                      min_area=1600.0))
+        assert report.pinholes == 0
+
+    def test_cleanup_preserves_large_holes(self):
+        mask = np.zeros((32, 32))
+        mask[2:30, 2:30] = 1.0
+        mask[8:24, 8:24] = 0.0
+        cleaned = cleanup_mask(mask, PIXEL)
+        assert np.array_equal(cleaned, mask)

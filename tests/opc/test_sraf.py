@@ -103,3 +103,22 @@ class TestInsertSrafs:
         assisted = assisted_mask_layout(_wire_clip())
         assert assisted.name == "w+sraf"
         assert len(assisted) > 1
+
+
+class TestBarToBarClearance:
+    def test_facing_bars_respect_clearance(self):
+        """Bars of facing wires collide in the channel between them:
+        the first is accepted, the second dropped (bar-vs-bar rule, not
+        bar-vs-pattern — both bars clear both patterns)."""
+        layout = Layout(extent=512.0, rects=[
+            Rect(100, 100, 400, 140),
+            Rect(100, 340, 400, 380),
+        ], name="facing")
+        config = SrafConfig(width=24.0, offset=80.0, clearance=40.0)
+        bars = insert_srafs(layout, config)
+        channel = [b for b in bars if 140.0 <= b.y0 and b.y1 <= 340.0]
+        assert len(channel) == 1
+        # The survivor belongs to the first wire and clears everything.
+        assert channel[0].y0 == 220.0
+        for rect in layout.rects:
+            assert channel[0].gap(rect) >= config.clearance - 1e-9

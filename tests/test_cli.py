@@ -267,3 +267,64 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestChip:
+    def test_writes_chip_layout(self, tmp_path, capsys):
+        out = str(tmp_path / "chip.glp")
+        assert main(["chip", "--cells", "2", "--cell-extent", "256",
+                     "--fill", "1.0", "--seed", "1", "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "2x2 cells" in stdout
+        assert "512 nm" in stdout and "64px" in stdout
+        chip = glp.load(out)
+        chip.validate()
+        assert chip.extent == 512.0
+        assert len(chip) > 0
+
+
+class TestTiled:
+    @pytest.fixture()
+    def chip_file(self, tmp_path):
+        out = str(tmp_path / "chip.glp")
+        assert main(["chip", "--cells", "2", "--cell-extent", "256",
+                     "--fill", "1.0", "--seed", "1", "--out", out]) == 0
+        return out
+
+    def test_ilt_tiled(self, chip_file, tmp_path, capsys):
+        out = str(tmp_path / "mask.pgm")
+        assert main(["ilt", chip_file, "--tiled", "--tile-size", "32",
+                     "--halo", "8", "--iterations", "4",
+                     "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        # 64 px chip, core 16 -> 4x4 tiles.
+        assert "tiles: 16 (4x4, tile 32px, halo 8px, core 16px)" in stdout
+        assert "chip grid: 64px" in stdout
+        from repro.bench import read_pgm
+        mask = read_pgm(out)
+        assert mask.shape == (64, 64)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+
+    def test_ilt_tiled_with_workers_prints_pool_stats(self, chip_file,
+                                                      tmp_path, capsys):
+        out = str(tmp_path / "mask.pgm")
+        assert main(["ilt", chip_file, "--tiled", "--tile-size", "32",
+                     "--halo", "8", "--iterations", "4", "--workers", "2",
+                     "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "2 workers" in stdout
+        assert os.path.exists(out)
+
+    def test_flow_tiled(self, chip_file, tmp_path, capsys):
+        config = GanOpcConfig.small(32)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(0))
+        ckpt = str(tmp_path / "gen.npz")
+        nn.save_state(generator, ckpt)
+        out = str(tmp_path / "mask.pgm")
+        assert main(["flow", chip_file, ckpt, "--tiled",
+                     "--tile-size", "32", "--halo", "8",
+                     "--iterations", "4", "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "tiles: 16" in stdout
+        assert os.path.exists(out)

@@ -1,0 +1,47 @@
+"""Regenerate the committed stitch-parity fixtures.
+
+Run from the repo root after an *intentional* change to the litho
+engine, the ILT optimizer, or the chip synthesizer::
+
+    PYTHONPATH=src python tests/tiling/fixtures/make_fixtures.py
+
+Writes ``parity.glp`` (a 3x3-cell synthetic chip whose 96 px raster
+fits a monolithic engine pass) and ``parity_mask.pgm`` (the
+monolithic-ILT reference mask for it).  ``test_parity_fixture.py``
+asserts the monolithic run still reproduces the committed mask
+bit-for-bit and that the tiled runs stay within the documented seam
+tolerance of it.
+"""
+
+import os
+
+from repro.bench.visualize import write_pgm
+from repro.geometry import binarize, glp, rasterize
+from repro.ilt.optimizer import ILTConfig, ILTOptimizer
+from repro.layoutgen.chip import ChipConfig, synthesize_chip
+from repro.litho.config import LithoConfig
+from repro.litho.engine import LithoEngine
+from repro.litho.kernels import build_kernels
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CHIP_GRID = 96
+ILT = ILTConfig(max_iterations=40, patience=None)
+
+
+def main() -> None:
+    chip = synthesize_chip(
+        ChipConfig(cells=3, cell_extent=256.0, fill_probability=1.0),
+        seed=3, name="parity-chip")
+    glp.save(chip, os.path.join(HERE, "parity.glp"))
+    target = binarize(rasterize(chip, CHIP_GRID))
+    litho = LithoConfig.small(CHIP_GRID)
+    engine = LithoEngine.for_kernels(build_kernels(litho))
+    result = ILTOptimizer(litho, ILT, engine=engine).optimize(target)
+    write_pgm(result.mask, os.path.join(HERE, "parity_mask.pgm"))
+    print(f"parity.glp: {len(chip)} shapes, extent {chip.extent:.0f} nm")
+    print(f"parity_mask.pgm: l2 {result.l2:.0f}, "
+          f"{result.iterations} iterations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Full-chip scale test: >= 2000 tiles through the tiled CLI flow.
+
+Excluded from the default run by the ``slow`` marker (pyproject
+``addopts``); CI runs it in the dedicated tiled-flow job with
+``-m slow``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.cli import main
+from repro.core import GanOpcConfig, MaskGenerator
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("workers", [2])
+def test_flow_tiled_2000_tiles(tmp_path, capsys, workers):
+    # 8x8 cells of 720 nm -> 5760 nm chip -> 720 px at 8 nm/px.
+    # tile 32 / halo 8 -> core 16 -> 45x45 = 2025 tiles.  Sparse fill
+    # keeps most tiles empty (skipped), so the run exercises scale in
+    # the decomposition and fan-out rather than raw ILT throughput.
+    chip = str(tmp_path / "chip.glp")
+    assert main(["chip", "--cells", "8", "--cell-extent", "720",
+                 "--fill", "0.05", "--seed", "4", "--out", chip]) == 0
+
+    generator = MaskGenerator(GanOpcConfig.small(32).generator_channels,
+                              rng=np.random.default_rng(0))
+    ckpt = str(tmp_path / "gen.npz")
+    nn.save_state(generator, ckpt)
+
+    out = str(tmp_path / "mask.pgm")
+    assert main(["flow", chip, ckpt, "--tiled",
+                 "--tile-size", "32", "--halo", "8",
+                 "--iterations", "2", "--workers", str(workers),
+                 "--out", out]) == 0
+    stdout = capsys.readouterr().out
+    assert "tiles: 2025 (45x45, tile 32px, halo 8px, core 16px)" in stdout
+    assert "chip grid: 720px" in stdout
+    # The sparse chip skips most tiles but the spanning wires keep a
+    # real population of optimized ones.
+    skipped = int(stdout.split("skipped ")[1].split(" empty")[0])
+    assert 0 < skipped < 2025
+    assert os.path.exists(out)
+
+    from repro.bench import read_pgm
+    mask = read_pgm(out)
+    assert mask.shape == (720, 720)
+    assert set(np.unique(mask)) <= {0.0, 1.0}
+    assert mask.any()

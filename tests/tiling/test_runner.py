@@ -1,0 +1,114 @@
+"""Tiled runner: serial==parallel parity, empty-tile skip, validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import GanOpcConfig, MaskGenerator
+from repro.geometry import binarize, rasterize
+from repro.ilt.optimizer import ILTConfig
+from repro.layoutgen.chip import ChipConfig, synthesize_chip
+from repro.litho.config import LithoConfig
+from repro.tiling import TilingConfig, tiled_flow, tiled_ilt
+
+ILT = ILTConfig(max_iterations=8, eval_interval=4, patience=None)
+
+
+@pytest.fixture(scope="module")
+def chip_target():
+    chip = synthesize_chip(
+        ChipConfig(cells=2, cell_extent=256.0, fill_probability=1.0),
+        seed=5)
+    return binarize(rasterize(chip, 64))
+
+
+@pytest.fixture(scope="module")
+def litho32():
+    return LithoConfig.small(32)
+
+
+def test_tiling_config_validation():
+    with pytest.raises(ValueError):
+        TilingConfig(tile=32, halo=4, blend=5)
+    with pytest.raises(ValueError):
+        TilingConfig(tile=32, halo=4, blend=-1)
+
+
+def test_runner_validation(chip_target, litho32):
+    with pytest.raises(ValueError):
+        tiled_ilt(chip_target[0], TilingConfig(tile=32, halo=4), litho32)
+    with pytest.raises(ValueError):
+        tiled_ilt(chip_target, TilingConfig(tile=16, halo=4), litho32)
+
+
+def test_serial_matches_pool_bit_exact(chip_target, litho32):
+    config = TilingConfig(tile=32, halo=4)
+    serial = tiled_ilt(chip_target, config, litho32, ILT, workers=1)
+    pooled = tiled_ilt(chip_target, config, litho32, ILT, workers=2)
+    assert serial.workers == 1 and pooled.workers == 2
+    assert np.array_equal(serial.mask, pooled.mask)
+    assert np.array_equal(serial.mask_relaxed, pooled.mask_relaxed)
+    assert np.array_equal(serial.tile_l2, pooled.tile_l2)
+    assert serial.tiles_total == pooled.tiles_total
+    assert serial.tiles_skipped == pooled.tiles_skipped
+    assert pooled.pool_stats is not None
+    assert pooled.pool_stats.tasks == pooled.tiles_total
+
+
+def test_blend_stitches_relaxed_but_not_binary(chip_target, litho32):
+    hard = tiled_ilt(chip_target, TilingConfig(tile=32, halo=4),
+                     litho32, ILT, workers=1)
+    soft_serial = tiled_ilt(chip_target, TilingConfig(tile=32, halo=4,
+                                                      blend=3),
+                            litho32, ILT, workers=1)
+    soft_pooled = tiled_ilt(chip_target, TilingConfig(tile=32, halo=4,
+                                                      blend=3),
+                            litho32, ILT, workers=2)
+    # The binary mask is always a hard core partition.
+    assert np.array_equal(soft_serial.mask, hard.mask)
+    # Feathering changes the relaxed stitch but stays bit-exact
+    # between the serial and pooled paths.
+    assert not np.array_equal(soft_serial.mask_relaxed, hard.mask_relaxed)
+    assert np.array_equal(soft_serial.mask_relaxed, soft_pooled.mask_relaxed)
+
+
+def test_empty_tiles_are_skipped(litho32):
+    target = np.zeros((64, 64))
+    target[2:10, 2:10] = 1.0  # only the first tile sees geometry
+    config = TilingConfig(tile=32, halo=4)
+    result = tiled_ilt(target, config, litho32, ILT, workers=1)
+    assert result.tiles_total == 9  # core 24 -> 3x3 tiles
+    assert 0 < result.tiles_skipped < result.tiles_total
+    # Skipped tiles produce exactly empty mask pixels.
+    assert not result.mask[40:, 40:].any()
+    no_skip = tiled_ilt(target,
+                        TilingConfig(tile=32, halo=4, skip_empty=False),
+                        litho32, ILT, workers=1)
+    assert no_skip.tiles_skipped == 0
+    # The binary mask is unaffected by the skip shortcut.
+    assert np.array_equal(no_skip.mask, result.mask)
+
+
+def test_tiled_flow_serial_matches_pool(chip_target, litho32):
+    generator = MaskGenerator(GanOpcConfig.small(32).generator_channels,
+                              rng=np.random.default_rng(0))
+    generator.eval()
+    config = TilingConfig(tile=32, halo=4)
+    refine = ILTConfig(max_iterations=6, eval_interval=3, patience=None)
+    serial = tiled_flow(generator, chip_target, config, litho32, refine,
+                        workers=1)
+    pooled = tiled_flow(generator, chip_target, config, litho32, refine,
+                        workers=2)
+    assert np.array_equal(serial.mask, pooled.mask)
+    assert np.array_equal(serial.mask_relaxed, pooled.mask_relaxed)
+    assert np.array_equal(serial.tile_l2, pooled.tile_l2)
+    assert serial.mask.shape == chip_target.shape
+
+
+def test_result_accounting(chip_target, litho32):
+    result = tiled_ilt(chip_target, TilingConfig(tile=32, halo=4),
+                       litho32, ILT, workers=1)
+    assert result.l2 == pytest.approx(result.tile_l2.sum())
+    assert result.tile_l2.shape == (result.tiles_total,)
+    assert result.iterations > 0
+    assert result.runtime_seconds > 0.0
+    assert result.tile_grid.chip_grid == chip_target.shape[0]

@@ -1,0 +1,74 @@
+"""Stitch rules: exact core partition and seam feathering."""
+
+import numpy as np
+import pytest
+
+from repro.tiling import TileGrid, extract_window, stitch_cores
+from repro.tiling.stitch import stitch_feathered
+
+
+def _grid():
+    return TileGrid(chip_grid=48, tile=24, halo=4)
+
+
+def test_stitch_cores_rejects_bad_inputs():
+    grid = _grid()
+    windows = [np.zeros((grid.tile, grid.tile)) for _ in grid]
+    with pytest.raises(ValueError):
+        stitch_cores(windows[:-1], grid)
+    bad = list(windows)
+    bad[0] = np.zeros((grid.tile, grid.tile + 1))
+    with pytest.raises(ValueError):
+        stitch_cores(bad, grid)
+
+
+def test_feather_validation():
+    grid = _grid()
+    windows = [np.zeros((grid.tile, grid.tile)) for _ in grid]
+    with pytest.raises(ValueError):
+        stitch_feathered(windows, grid, blend=-1)
+    with pytest.raises(ValueError):
+        stitch_feathered(windows, grid, blend=grid.halo + 1)
+    with pytest.raises(ValueError):
+        stitch_feathered(windows[:-1], grid, blend=2)
+
+
+def test_feather_blend_zero_equals_core_crop():
+    grid = _grid()
+    rng = np.random.default_rng(0)
+    windows = [rng.random((grid.tile, grid.tile)) for _ in grid]
+    assert np.array_equal(stitch_feathered(windows, grid, 0),
+                          stitch_cores(windows, grid))
+
+
+def test_feather_reproduces_consistent_windows_exactly():
+    """When all tiles agree (windows crop one chip image), feathering
+    must reproduce that image: the weights are a partition of unity
+    over agreeing contributions."""
+    grid = _grid()
+    rng = np.random.default_rng(1)
+    chip = rng.random((grid.chip_grid, grid.chip_grid))
+    windows = [extract_window(chip, tile) for tile in grid]
+    for blend in (1, 2, grid.halo):
+        stitched = stitch_feathered(windows, grid, blend)
+        assert np.allclose(stitched, chip, atol=1e-12)
+
+
+def test_feather_smooths_disagreeing_tiles():
+    """A hard disagreement between neighbors turns into a ramp."""
+    grid = TileGrid(chip_grid=32, tile=24, halo=4)  # 2x2 tiles, core 16
+    windows = []
+    for tile in grid:
+        value = 1.0 if tile.col == 0 else 0.0
+        windows.append(np.full((tile.size, tile.size), value))
+    hard = stitch_cores(windows, grid)
+    soft = stitch_feathered(windows, grid, blend=4)
+    row = grid.chip_grid // 4
+    # Hard crop steps 1 -> 0 at the seam (col 16).
+    assert hard[row, 15] == 1.0 and hard[row, 16] == 0.0
+    # Feathered stitch crosses through intermediate values.
+    seam_values = soft[row, 12:20]
+    assert np.all(np.diff(seam_values) <= 1e-12)
+    assert np.any((seam_values > 0.1) & (seam_values < 0.9))
+    # Away from the seam the tiles are untouched.
+    assert soft[row, 0] == 1.0 and soft[row, -1] == 0.0
