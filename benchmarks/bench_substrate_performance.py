@@ -67,6 +67,11 @@ def test_ilt_gradient_step(grid, benchmark):
               config.mask_steepness)
 
 
+def _noop_task():
+    """Module-level no-op for the pool-overhead benchmark entry."""
+    return 0
+
+
 def _mask_batch(grid, batch):
     rng = np.random.default_rng(7)
     masks = rng.random((batch, grid, grid))
@@ -384,6 +389,30 @@ def test_write_bench_substrate_record():
                                   tile_ilt, pool=pool),
                 grid=tiling.tile, batch=n_tiles, repeats=3)
 
+    # Observability overhead (gated in CI via --require obs_overhead_):
+    # (a) one disabled trace.span — what instrumentation costs hot
+    # paths while tracing is off; (b) the pool's per-task round trip
+    # on no-op tasks — submit, engine-snapshot bookkeeping, result and
+    # telemetry absorption — tracing disabled.
+    from repro.obs import trace as obs_trace
+    assert not obs_trace.is_enabled()
+    span_iters = 20000
+
+    def _disabled_span_loop():
+        for _ in range(span_iters):
+            with obs_trace.span("bench-probe"):
+                pass
+
+    recorder.timeit(f"obs_overhead_disabled_span/iters{span_iters}",
+                    _disabled_span_loop, batch=span_iters, repeats=5)
+    pool_tasks = 32
+    with WorkerPool(2, litho_config=ilt_litho) as pool:
+        pool.map(_noop_task, [() for _ in range(8)])  # warm workers
+        recorder.timeit(
+            f"obs_overhead_pool_map_noop/tasks{pool_tasks}/workers2",
+            lambda: pool.map(_noop_task, [() for _ in range(pool_tasks)]),
+            batch=pool_tasks, repeats=3)
+
     # Per-stage breakdown of the end-to-end flow: generator inference
     # vs ILT refinement (the split behind Table 2's runtime column).
     flow_grid = 32
@@ -418,6 +447,9 @@ def test_write_bench_substrate_record():
     assert (f"tiling_ilt_serial/chip64/tile{tiling.tile}/halo{tiling.halo}"
             in entries)
     assert f"flow_generation/grid{flow_grid}" in entries
+    assert f"obs_overhead_disabled_span/iters{span_iters}" in entries
+    assert (f"obs_overhead_pool_map_noop/tasks{pool_tasks}/workers2"
+            in entries)
     for name, entry in entries.items():
         assert entry["seconds"] >= 0.0, name
     assert entries[f"engine_forward/grid{grid}/batch8"][

@@ -196,6 +196,23 @@ class Table2Result:
     #: stage columns directly comparable across methods.
     stage_seconds: Dict[str, List[Dict[str, float]]] = field(
         default_factory=dict)
+    #: litho-engine counter totals over the whole experiment —
+    #: ``forward_calls/masks/seconds`` + ``gradient_*``.  Serial runs
+    #: delta the pipeline engine's stats around the clip loop; parallel
+    #: runs sum the per-task deltas every worker ships back, so the
+    #: counts reconcile 1:1 with a serial run of the same experiment
+    #: (the parity test in ``tests/bench``).
+    engine_stats: Dict[str, float] = field(default_factory=dict)
+    #: pool accounting for ``workers > 1`` runs (None for serial).
+    pool_stats: Optional[object] = None
+
+    def engine_table(self) -> str:
+        """Fleet-summed engine counter table (empty if not recorded)."""
+        if not self.engine_stats:
+            return ""
+        from ..obs.aggregate import format_engine_table
+        return format_engine_table(self.engine_stats,
+                                   title="litho engine (all processes)")
 
     def averages(self, method: str) -> Tuple[float, float, float]:
         evals = self.columns[method]
@@ -304,6 +321,7 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
     stage_seconds: Dict[str, List[Dict[str, float]]] = {
         "ILT": [], "GAN-OPC": [], "PGAN-OPC": []}
 
+    stats_before = pipeline.engine.stats.snapshot()
     for clip in clips:
         target = (rasterize(clip.layout, cfg.grid) >= 0.5).astype(float)
 
@@ -331,7 +349,9 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
                  "refinement": flow_result.refinement_seconds})
 
     result = Table2Result(columns=columns, masks=masks, clips=clips,
-                          stage_seconds=stage_seconds)
+                          stage_seconds=stage_seconds,
+                          engine_stats=pipeline.engine.stats.delta(
+                              stats_before))
     result.table = comparison_table(columns, baseline="ILT")
     return result
 
@@ -379,7 +399,9 @@ def _run_table2_parallel(pipeline: Pipeline, generators: TrainedGenerators,
             stage_seconds[method][slot] = stages[method]
 
     result = Table2Result(columns=columns, masks=masks, clips=clips,
-                          stage_seconds=stage_seconds)
+                          stage_seconds=stage_seconds,
+                          engine_stats=dict(pool.stats.fleet.engine_totals),
+                          pool_stats=pool.stats)
     result.table = comparison_table(columns, baseline="ILT")
     return result
 

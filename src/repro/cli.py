@@ -16,11 +16,17 @@ without writing Python:
   halo-overlap tile decomposition (``--tile-size --halo --workers``);
 * ``table2``     — run the full Table 2 experiment at a chosen scale;
 * ``profile``    — run a small end-to-end flow under the observability
-  layer and emit a Perfetto-loadable Chrome trace plus per-op tables.
+  layer and emit a Perfetto-loadable Chrome trace plus per-op tables;
+* ``monitor``    — run a tiled job under live fleet monitoring:
+  per-tile progress with ETA, pool utilization, stall/straggler
+  flags, and OpenMetrics exposition (``--metrics-port`` HTTP or
+  ``--metrics-out`` file).
 
 ``train`` and ``flow`` also accept ``--trace-dir`` to capture span
-traces alongside their normal outputs.  Layouts move as GLP text
-files, images as PGM; metrics print on stdout.
+traces alongside their normal outputs; with ``--workers > 1`` the
+trace merges every worker's spans into one pid-laned Chrome file
+(DESIGN.md §13).  Layouts move as GLP text files, images as PGM;
+metrics print on stdout.
 """
 
 from __future__ import annotations
@@ -54,6 +60,41 @@ def _trace_to(trace_dir: Optional[str], prefix: str):
             os.path.join(trace_dir, f"{prefix}-trace.json"))
         print(f"chrome trace written to {path} "
               f"(load in https://ui.perfetto.dev)")
+
+
+def _emit_fleet_telemetry(logger, pool_stats, registry=None) -> None:
+    """Write per-worker telemetry records after a parallel/tiled run.
+
+    One ``worker_span_summary`` per worker pid (span + engine-counter
+    merges shipped back through the pool) and, when the pool's metrics
+    ``registry`` holds /proc resource gauges, one ``resource_sample``
+    per pid with its last observed RSS/CPU reading.
+    """
+    fleet = pool_stats.fleet
+    for pid in sorted(set(pool_stats.task_counts)
+                      | set(fleet.pid_span_summary)):
+        logger.worker_span_summary(
+            pid, fleet.pid_span_summary.get(pid, {}),
+            tasks=pool_stats.task_counts.get(pid),
+            busy_seconds=pool_stats.busy_seconds.get(pid),
+            dropped_spans=fleet.dropped_spans or None,
+            litho=fleet.pid_engine.get(pid) or None)
+    if registry is None:
+        return
+    from .obs.export import split_labels
+    per_pid: dict = {}
+    for raw_name, value in registry.snapshot()["gauges"].items():
+        name, labels = split_labels(raw_name)
+        if "pid" in labels and name.startswith("pool.worker."):
+            per_pid.setdefault(int(labels["pid"]), {})[
+                name.rsplit(".", 1)[-1]] = value
+    for pid, values in sorted(per_pid.items()):
+        if "rss_bytes" in values and "cpu_seconds" in values:
+            logger.resource_sample(
+                pid, values["rss_bytes"], values["cpu_seconds"],
+                num_threads=(int(values["threads"])
+                             if "threads" in values else None),
+                cpu_utilization=values.get("cpu_utilization"))
 
 
 def _litho(args):
@@ -344,11 +385,33 @@ def cmd_flow(args) -> int:
         generator = MaskGenerator(config.generator_channels,
                                   rng=np.random.default_rng(0))
         nn.load_state(generator, args.checkpoint)
-        with _trace_to(args.trace_dir, "flow"):
-            result = tiled_flow(
-                generator, target, tiling, litho,
-                ILTConfig(max_iterations=args.iterations, patience=4),
-                workers=args.workers, precision=args.precision)
+        pool = None
+        if args.workers > 1:
+            # Own the pool so its metrics registry (resource samples)
+            # survives the run for telemetry emission below.
+            from .parallel import WorkerPool
+            from .parallel.flow import generator_payload
+            pool = WorkerPool(args.workers, litho_config=litho,
+                              precision=args.precision,
+                              state=generator_payload(generator))
+        try:
+            with _trace_to(args.trace_dir, "flow"):
+                result = tiled_flow(
+                    generator, target, tiling, litho,
+                    ILTConfig(max_iterations=args.iterations, patience=4),
+                    workers=args.workers, precision=args.precision,
+                    pool=pool)
+            if args.telemetry_dir and result.pool_stats is not None:
+                import os
+                with RunLogger(
+                        os.path.join(args.telemetry_dir, "flow.jsonl"),
+                        "flow", append=True) as logger:
+                    _emit_fleet_telemetry(
+                        logger, result.pool_stats,
+                        pool.registry if pool is not None else None)
+        finally:
+            if pool is not None:
+                pool.shutdown()
         _print_tiled(result, args.out)
         return 0
 
@@ -421,6 +484,7 @@ def cmd_profile(args) -> int:
         with trace.span("profile.setup"):
             litho = _litho(args)
             engine = _engine(litho, args.precision)
+            engine_before = engine.stats.snapshot()
             if args.clip:
                 _, target = _load_target(args.clip, litho.grid)
             else:
@@ -456,6 +520,7 @@ def cmd_profile(args) -> int:
                     ILTConfig(max_iterations=args.iterations, patience=4),
                     workers=args.workers, precision=args.precision)
                 pool_stats = parallel_result.pool_stats
+        parent_engine_delta = engine.stats.delta(engine_before)
     finally:
         wall = time.perf_counter() - wall_started
         profiler.disable()
@@ -479,9 +544,144 @@ def cmd_profile(args) -> int:
     if pool_stats is not None:
         print()
         print(pool_stats.format_table())
+        # Fleet view: parent + worker engine counters must reconcile
+        # 1:1 with the merged litho span counts (DESIGN.md §13).
+        from .obs.aggregate import format_engine_table, reconcile
+        combined = dict(pool_stats.fleet.engine_totals)
+        for key, value in parent_engine_delta.items():
+            combined[key] = combined.get(key, 0.0) + value
+        merged = pool_stats.fleet.merged_summary(tracer.summary())
+        print()
+        print(format_engine_table(combined,
+                                  title="litho engine (parent + workers)"))
+        print("engine/span reconciliation:")
+        for counter, entry in reconcile(combined, merged).items():
+            status = "ok" if entry["match"] else "MISMATCH"
+            print(f"  {counter:>15}: stats {entry['stats']:>6d}  "
+                  f"spans {entry['spans']:>6d}  [{status}]")
+    if args.metrics_out:
+        from .obs import default_registry
+        from .obs.export import write_openmetrics
+        write_openmetrics([engine.metrics, default_registry()],
+                          args.metrics_out)
+        print(f"openmetrics exposition written to {args.metrics_out}")
     print(f"chrome trace written to {chrome_path} "
           f"(load in https://ui.perfetto.dev)")
     print(f"span stream written to {spans_path}")
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    """Run a tiled job with live fleet monitoring.
+
+    Drives ``tiled_ilt`` (or ``tiled_flow`` with ``--checkpoint``)
+    through an explicitly owned :class:`WorkerPool` and renders a live
+    status line from the per-tile progress callback: tiles done/total,
+    elapsed, ETA, pool utilization, and watchdog stall count.  The
+    pool's metrics registry (task gauges + /proc resource samples) can
+    be served over HTTP (``--metrics-port``) or written as OpenMetrics
+    text (``--metrics-out``); ``--trace-dir`` captures the merged
+    pid-laned Chrome trace and ``--telemetry-dir`` records
+    ``worker_span_summary``/``resource_sample`` JSONL events.
+    """
+    import os
+    import time
+
+    from .ilt import ILTConfig
+    from .litho import LithoConfig
+    from .parallel import WorkerPool
+    from .tiling import tiled_flow, tiled_ilt
+
+    tiling = _tiled_config(args)
+    litho = LithoConfig.small(tiling.tile)
+    _, target = _chip_target(args.clip, tiling, litho)
+    generator = None
+    state = None
+    if args.checkpoint:
+        from . import nn
+        from .core import GanOpcConfig, MaskGenerator
+        from .parallel.flow import generator_payload
+        config = GanOpcConfig.small(litho.grid)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(0))
+        nn.load_state(generator, args.checkpoint)
+        state = generator_payload(generator)
+
+    pool = WorkerPool(max(args.workers, 1), litho_config=litho,
+                      precision=args.precision, state=state,
+                      stall_after=args.stall_after)
+    server = None
+    if args.metrics_port is not None:
+        from .obs.export import MetricsServer
+        server = MetricsServer([pool.registry],
+                               port=args.metrics_port).start()
+        print(f"serving metrics at {server.url}")
+
+    started = time.perf_counter()
+    is_tty = sys.stdout.isatty()
+    last_print = [0.0]
+
+    def progress(done: int, total: int, pid: int, seconds: float) -> None:
+        now = time.perf_counter()
+        elapsed = now - started
+        rate = done / elapsed if elapsed > 0 else 0.0
+        eta = (total - done) / rate if rate > 0 else float("inf")
+        busy = pool.stats.total_busy_seconds
+        util = (busy / (elapsed * pool.workers)
+                if elapsed > 0 and pool.workers else 0.0)
+        line = (f"tiles {done:>4d}/{total:<4d}  elapsed {elapsed:7.1f}s  "
+                f"eta {eta:7.1f}s  workers {pool.workers}  "
+                f"util {100.0 * util:5.1f}%  "
+                f"stalls {len(pool.stats.stalls)}")
+        if is_tty:
+            sys.stdout.write("\r" + line)
+            if done == total:
+                sys.stdout.write("\n")
+            sys.stdout.flush()
+        elif done == total or now - last_print[0] >= args.update_every:
+            last_print[0] = now
+            print(line, flush=True)
+
+    try:
+        with _trace_to(args.trace_dir, "monitor"):
+            if generator is not None:
+                result = tiled_flow(
+                    generator, target, tiling, litho,
+                    ILTConfig(max_iterations=args.iterations, patience=4),
+                    workers=pool.workers, precision=args.precision,
+                    pool=pool, progress=progress)
+            else:
+                result = tiled_ilt(
+                    target, tiling, litho,
+                    ILTConfig(max_iterations=args.iterations),
+                    workers=pool.workers, precision=args.precision,
+                    pool=pool, progress=progress)
+        _print_tiled(result, args.out)
+        stragglers = pool.stats.stragglers()
+        if stragglers:
+            print(f"stragglers (> 3x median "
+                  f"{pool.stats.median_task_seconds():.3f}s):")
+            for pid, seconds in stragglers:
+                print(f"  pid {pid}: {seconds:.3f}s")
+        for event in pool.stats.stalls:
+            print(f"stall: pid {event.pid} task #{event.task_seq} silent "
+                  f"for {event.gap_seconds:.1f}s")
+        if args.metrics_out:
+            from .obs.export import write_openmetrics
+            write_openmetrics([pool.registry], args.metrics_out)
+            print(f"openmetrics exposition written to {args.metrics_out}")
+        if args.telemetry_dir:
+            from .runtime import RunLogger
+            with RunLogger(
+                    os.path.join(args.telemetry_dir, "monitor.jsonl"),
+                    "monitor") as logger:
+                _emit_fleet_telemetry(logger, pool.stats, pool.registry)
+            print(f"telemetry written to "
+                  f"{os.path.join(args.telemetry_dir, 'monitor.jsonl')}")
+    finally:
+        if server is not None:
+            server.stop()
+        pool.shutdown()
     return 0
 
 
@@ -507,6 +707,11 @@ def cmd_table2(args) -> int:
         stages = result.stage_averages(method)
         print(f"  {method:>9}: generation {stages['generation']:8.3f}s   "
               f"refinement {stages['refinement']:8.3f}s")
+    if result.pool_stats is not None:
+        # The pool table already appends the fleet-summed engine table.
+        print(result.pool_stats.format_table())
+    elif result.engine_stats:
+        print(result.engine_table())
     if result.has_window_metrics:
         print(f"process window ({conditions.describe()}, "
               f"objective {args.pw_objective!r}):")
@@ -527,10 +732,11 @@ def _add_workers(p) -> None:
                         "(default: 1, serial)")
 
 
-def _add_tiling(p) -> None:
-    p.add_argument("--tiled", action="store_true",
-                   help="decompose the layout into halo-overlap tiles "
-                        "and stitch per-tile results (chip-scale runs)")
+def _add_tiling(p, flag: bool = True) -> None:
+    if flag:
+        p.add_argument("--tiled", action="store_true",
+                       help="decompose the layout into halo-overlap tiles "
+                            "and stitch per-tile results (chip-scale runs)")
     p.add_argument("--tile-size", type=int, default=64,
                    help="tile window size in px, the litho engine grid "
                         "(default: 64)")
@@ -678,9 +884,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--trace-dir", default="profile-trace",
                    help="output directory for trace.json and spans.jsonl")
+    p.add_argument("--metrics-out",
+                   help="write an OpenMetrics text exposition of the "
+                        "engine/default metric registries to this file")
     _add_precision(p)
     _add_workers(p)
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "monitor", help="run a tiled job under live fleet monitoring: "
+                        "per-tile progress + ETA, pool utilization, "
+                        "stall/straggler detection, metrics exposition")
+    p.add_argument("clip", help="chip-scale layout (.glp)")
+    p.add_argument("--checkpoint",
+                   help="generator .npz checkpoint; monitors a tiled "
+                        "GAN-OPC flow instead of tiled ILT")
+    p.add_argument("--iterations", type=int, default=50,
+                   help="per-tile iteration cap (default: 50)")
+    p.add_argument("--out", help="write the stitched mask here (.pgm)")
+    p.add_argument("--stall-after", type=float, default=5.0,
+                   help="watchdog: flag an active task silent for this "
+                        "many seconds (default: 5)")
+    p.add_argument("--update-every", type=float, default=0.5,
+                   help="progress print period in seconds when stdout "
+                        "is not a tty (default: 0.5)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve OpenMetrics over HTTP on this port while "
+                        "the run is live (0 picks a free port)")
+    p.add_argument("--metrics-out",
+                   help="write the final OpenMetrics text exposition of "
+                        "the pool registry to this file")
+    p.add_argument("--telemetry-dir",
+                   help="write worker_span_summary/resource_sample JSONL "
+                        "telemetry under this directory")
+    p.add_argument("--trace-dir",
+                   help="capture the merged pid-laned Chrome trace "
+                        "under this directory")
+    _add_precision(p)
+    _add_workers(p)
+    _add_tiling(p, flag=False)
+    p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser("table2", help="run the Table 2 experiment")
     p.add_argument("--scale", choices=("quick", "medium", "full"),

@@ -6,17 +6,29 @@ it depends only on the standard library, so ``repro.nn``,
 ``repro.litho``, ``repro.ilt`` and ``repro.core`` are free to import
 it for instrumentation without cycles.
 
-Three cooperating pieces (see DESIGN.md §9):
+Six cooperating pieces (see DESIGN.md §9 and §13):
 
 * :mod:`repro.obs.trace` — hierarchical span tracer with Chrome
   trace-event (Perfetto) and JSONL export;
 * :mod:`repro.obs.profiler` — per-op autograd profiler (wall time,
   call counts, FLOPs, allocated bytes) for ``repro.nn``;
 * :mod:`repro.obs.registry` — counters / gauges / histograms backing
-  ``EngineStats`` and the per-phase training metrics.
+  ``EngineStats`` and the per-phase training metrics;
+* :mod:`repro.obs.aggregate` — cross-process telemetry: workers ship
+  bounded span/profiler/engine summaries back with task results and
+  the parent merges them into one trace and fleet tables;
+* :mod:`repro.obs.health` — heartbeat board, stall watchdog, and
+  /proc resource sampler for the worker pool;
+* :mod:`repro.obs.export` — OpenMetrics/Prometheus text exposition
+  (file or HTTP) of any registry.
 """
 
-from repro.obs import profiler, trace
+from repro.obs import aggregate, export, health, profiler, trace
+from repro.obs.aggregate import FleetTelemetry, TaskTelemetry
+from repro.obs.export import (MetricsServer, render_openmetrics,
+                              write_openmetrics)
+from repro.obs.health import (HeartbeatBoard, ResourceSampler, StallEvent,
+                              Watchdog, proc_available)
 from repro.obs.profiler import (Profiler, conv2d_flops,
                                 conv_transpose2d_flops, matmul_flops)
 from repro.obs.registry import (Counter, Gauge, Histogram,
@@ -26,6 +38,9 @@ from repro.obs.trace import Span, Tracer, format_span_table, tracing
 __all__ = [
     "trace",
     "profiler",
+    "aggregate",
+    "health",
+    "export",
     "Tracer",
     "Span",
     "tracing",
@@ -39,4 +54,14 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_registry",
+    "TaskTelemetry",
+    "FleetTelemetry",
+    "HeartbeatBoard",
+    "Watchdog",
+    "StallEvent",
+    "ResourceSampler",
+    "proc_available",
+    "MetricsServer",
+    "render_openmetrics",
+    "write_openmetrics",
 ]

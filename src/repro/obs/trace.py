@@ -34,8 +34,10 @@ and the Chrome export separates them by ``tid``.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
+import sys
 import threading
 import time
 from contextlib import contextmanager
@@ -121,8 +123,10 @@ class Tracer:
 
     def __init__(self, jsonl_path: Optional[str] = None):
         self.epoch = time.perf_counter()
+        self.pid = os.getpid()
         self._lock = threading.Lock()
         self._spans: List[Span] = []
+        self._external: List[Dict[str, Any]] = []
         self._local = threading.local()
         self._jsonl_path = jsonl_path
         self._jsonl_fh = None
@@ -156,6 +160,23 @@ class Tracer:
                     sort_keys=True) + "\n")
                 self._jsonl_fh.flush()
 
+    # -- external (cross-process) events --------------------------------
+    def add_external_events(self, events: List[Dict[str, Any]]) -> None:
+        """Merge already-formed Chrome trace events from another process.
+
+        Used by the worker-pool telemetry path: finished worker spans
+        are converted (with their real pid/tid and the parent's epoch)
+        by :mod:`repro.obs.aggregate` and deposited here so a single
+        :meth:`write_chrome_trace` emits one fleet-wide trace.
+        """
+        with self._lock:
+            self._external.extend(events)
+
+    def external_events(self) -> List[Dict[str, Any]]:
+        """Snapshot of merged cross-process Chrome events."""
+        with self._lock:
+            return list(self._external)
+
     # -- inspection -----------------------------------------------------
     def spans(self) -> List[Span]:
         """Snapshot list of finished spans (insertion order)."""
@@ -188,9 +209,15 @@ class Tracer:
 
     # -- export ---------------------------------------------------------
     def to_chrome(self) -> Dict[str, Any]:
-        """Chrome trace-event representation (Perfetto-loadable)."""
-        pid = os.getpid()
-        events = [{
+        """Chrome trace-event representation (Perfetto-loadable).
+
+        Includes any cross-process events merged in via
+        :meth:`add_external_events`; each event keeps the pid of the
+        process that produced it, so Perfetto renders one lane group
+        per worker next to this process's own spans.
+        """
+        pid = self.pid
+        events: List[Dict[str, Any]] = [{
             "name": span.name,
             "cat": "repro",
             "ph": "X",
@@ -200,6 +227,7 @@ class Tracer:
             "tid": span.tid,
             "args": span.args,
         } for span in self.spans()]
+        events.extend(self.external_events())
         return {"displayTimeUnit": "ms", "traceEvents": events}
 
     def write_chrome_trace(self, path: str) -> str:
@@ -220,6 +248,48 @@ class Tracer:
 # Module-level API — the form instrumentation points use.
 # ----------------------------------------------------------------------
 _ACTIVE: Optional[Tracer] = None
+_ATEXIT_REGISTERED = False
+
+
+def _atexit_flush() -> None:
+    """Last-chance flush: close a tracer still active at interpreter exit.
+
+    A tracer left installed at exit means the run ended without the
+    normal ``disable()``/export path (worker killed mid-task, uncaught
+    exception, ``sys.exit`` inside a span).  Rather than silently
+    truncating the JSONL span stream, flush and close it and tell the
+    user the trace is partial.
+    """
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    if tracer is None:
+        return
+    spans = len(tracer.spans())
+    tracer.close()
+    print(f"repro.obs.trace: warning: tracer still active at exit; "
+          f"flushed a partial trace ({spans} finished spans"
+          f"{', jsonl stream closed' if tracer._jsonl_path else ''})",
+          file=sys.stderr)
+
+
+def _register_atexit() -> None:
+    global _ATEXIT_REGISTERED
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_atexit_flush)
+        _ATEXIT_REGISTERED = True
+
+
+def reset_for_child() -> None:
+    """Drop tracer state inherited across ``fork`` without closing it.
+
+    A forked worker inherits the parent's active tracer *object* —
+    including the open JSONL file description shared with the parent.
+    Calling :func:`disable` here would flush/close through that shared
+    stream and corrupt the parent's span file, so the child simply
+    forgets the reference; the parent keeps sole ownership.
+    """
+    global _ACTIVE
+    _ACTIVE = None
 
 
 def span(name: str, **args):
@@ -246,6 +316,7 @@ def enable(tracer: Optional[Tracer] = None,
     if tracer is None:
         tracer = Tracer(jsonl_path=jsonl_path)
     _ACTIVE = tracer
+    _register_atexit()
     return tracer
 
 
@@ -265,6 +336,7 @@ def tracing(jsonl_path: Optional[str] = None):
     previous = _ACTIVE
     tracer = Tracer(jsonl_path=jsonl_path)
     _ACTIVE = tracer
+    _register_atexit()
     try:
         yield tracer
     finally:

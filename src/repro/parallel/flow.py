@@ -141,9 +141,14 @@ def parallel_flow(generator: MaskGenerator, targets: np.ndarray,
                   workers: int = 2,
                   precision: Optional[str] = None,
                   pool: Optional[WorkerPool] = None,
-                  conditions: Optional[ConditionSet] = None
-                  ) -> List[FlowResult]:
-    """Fan :meth:`GanOpcFlow.optimize` over a target stack."""
+                  conditions: Optional[ConditionSet] = None,
+                  progress=None) -> List[FlowResult]:
+    """Fan :meth:`GanOpcFlow.optimize` over a target stack.
+
+    ``progress`` (``(done, total, pid, seconds)``) is forwarded to
+    :meth:`WorkerPool.map`; pass an external ``pool`` to read fleet
+    telemetry (``pool.stats.fleet``) after the run.
+    """
     targets = np.asarray(targets, dtype=float)
     if targets.ndim != 3:
         raise ValueError(f"targets must be (N, g, g), got {targets.shape}")
@@ -162,7 +167,7 @@ def parallel_flow(generator: MaskGenerator, targets: np.ndarray,
             [(i, shared_targets.spec, shared_out.spec, litho_config,
               refine_config, refine_iterations, conditions)
              for i in range(n)],
-            label="parallel.flow")
+            label="parallel.flow", progress=progress)
         out = np.array(shared_out.array, copy=True)
     finally:
         shared_targets.close()

@@ -112,8 +112,8 @@ def parallel_ilt(targets: np.ndarray,
                  initial_masks: Optional[np.ndarray] = None,
                  max_iterations: Optional[int] = None,
                  pool: Optional[WorkerPool] = None,
-                 conditions: Optional[ConditionSet] = None
-                 ) -> ParallelILTResult:
+                 conditions: Optional[ConditionSet] = None,
+                 progress=None) -> ParallelILTResult:
     """Per-clip ILT over a target stack, fanned across worker processes.
 
     Parameters
@@ -130,6 +130,9 @@ def parallel_ilt(targets: np.ndarray,
     pool:
         Reuse an existing pool (its config/precision win); otherwise a
         pool is created and torn down inside this call.
+    progress:
+        Optional ``(done, total, pid, seconds)`` callback forwarded to
+        :meth:`WorkerPool.map` — what ``repro monitor`` renders live.
     """
     litho_config = litho_config or LithoConfig.paper()
     ilt_config = ilt_config or ILTConfig()
@@ -174,7 +177,7 @@ def parallel_ilt(targets: np.ndarray,
               shared_out.spec, litho_config, ilt_config, max_iterations,
               conditions)
              for i in range(n)],
-            label="parallel.ilt")
+            label="parallel.ilt", progress=progress)
         out = np.array(shared_out.array, copy=True)
     finally:
         shared_targets.close()

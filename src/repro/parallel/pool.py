@@ -19,10 +19,21 @@ with the conventions every parallel workload in this repo shares:
   ``os._exit``) surfaces promptly as :class:`WorkerCrashError` instead
   of hanging the parent.
 * **observability** — every :meth:`WorkerPool.map` runs under a
-  ``parallel.map`` span, and per-task ``(pid, seconds)`` reports are
-  aggregated into :class:`PoolStats`, whose :meth:`PoolStats.format_table`
-  is what ``repro profile --workers N`` prints as per-worker
-  utilization.
+  ``parallel.map`` span.  Each task ships back its engine-counter
+  delta (always) and, when the parent is tracing, its finished spans
+  and profiler tables as a bounded
+  :class:`~repro.obs.aggregate.TaskTelemetry`; the parent merges
+  these into :class:`PoolStats` (fleet engine/span/op totals) and
+  deposits worker spans into the active tracer so ``--trace-dir``
+  writes one pid-laned Chrome trace (DESIGN.md §13).
+* **health** — workers stamp a shared-memory heartbeat board
+  (per-task beacons + a daemon beat thread); while a ``map`` is in
+  flight a parent watchdog flags active tasks silent past
+  ``stall_after`` seconds into :attr:`PoolStats.stalls`, and a /proc
+  resource sampler records per-worker RSS/CPU into the pool's
+  :class:`~repro.obs.MetricsRegistry`.  Stragglers (tasks slower
+  than k×median) are available post-hoc via
+  :meth:`PoolStats.stragglers`.
 
 Task functions must be module-level (picklable); per-task arguments
 should be small — ship arrays through shared memory, not arguments.
@@ -32,19 +43,32 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import statistics
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Set,
+                    Tuple)
 
-from repro.obs import trace
+from repro.obs import MetricsRegistry, profiler, trace
+from repro.obs import aggregate as obs_aggregate
+from repro.obs import health as obs_health
+from repro.obs.aggregate import FleetTelemetry, TaskTelemetry
+from repro.obs.health import (HeartbeatBoard, ResourceSampler, StallEvent,
+                              Watchdog, WorkerHeartbeat)
 
 from ..litho.config import LithoConfig
 from ..litho.engine import LithoEngine, resolve_precision
 from ..litho.kernels import build_kernels
 from .shm import ShmSpec, SharedArray
+
+HEALTH_ENV = "REPRO_POOL_HEALTH"
+
+#: ``progress`` callback signature for :meth:`WorkerPool.map`:
+#: ``(done, total, pid, seconds)`` after every finished task.
+ProgressFn = Callable[[int, int, int, float], None]
 
 
 class WorkerTaskError(RuntimeError):
@@ -67,25 +91,57 @@ _WORKER_STATE: Dict[str, Any] = {
     "precision": None,
     "state": None,
     "arrays": {},
+    "engines": [],
+    "heartbeat": None,
 }
 
 
 def _worker_init(litho_config: Optional[LithoConfig], precision: str,
-                 state: Any) -> None:
+                 state: Any,
+                 heartbeat: Optional[Tuple[str, int, float]] = None) -> None:
     """Executor initializer: stash the pool-wide context in this worker."""
+    # Under ``fork`` the child inherits the parent's active tracer and
+    # profiler objects (including an open JSONL file description shared
+    # with the parent); drop them so worker telemetry is per-task and
+    # the parent's streams stay uncorrupted.
+    trace.reset_for_child()
+    profiler.ACTIVE = None
+    profiler._previous.clear()
     _WORKER_STATE["litho_config"] = litho_config
     _WORKER_STATE["precision"] = precision
     _WORKER_STATE["state"] = state
     _WORKER_STATE["arrays"] = {}
+    _WORKER_STATE["engines"] = []
+    _WORKER_STATE["heartbeat"] = None
+    if heartbeat is not None:
+        name, capacity, interval = heartbeat
+        try:
+            _WORKER_STATE["heartbeat"] = WorkerHeartbeat(
+                name, capacity, interval=interval)
+        except Exception:  # board gone / platform quirk: run unmonitored
+            _WORKER_STATE["heartbeat"] = None
 
 
 def worker_engine(litho_config: Optional[LithoConfig] = None) -> LithoEngine:
-    """The warm per-process engine for the pool's (or given) config."""
+    """The warm per-process engine for the pool's (or given) config.
+
+    Engines handed out here are registered so :func:`_run_task` can
+    snapshot their litho counters around each task and ship the delta
+    back to the parent (``for_kernels`` memoizes, so the same warm
+    engine — and its cumulative stats — persists across tasks).
+    """
     config = litho_config or _WORKER_STATE["litho_config"]
     if config is None:
         raise RuntimeError("pool has no litho config and none was given")
-    return LithoEngine.for_kernels(build_kernels(config),
-                                   precision=_WORKER_STATE["precision"])
+    engine = LithoEngine.for_kernels(build_kernels(config),
+                                     precision=_WORKER_STATE["precision"])
+    engines = _WORKER_STATE["engines"]
+    if all(existing is not engine for existing, _ in engines):
+        # Under ``fork`` the memoized engine is inherited with the
+        # parent's accumulated counters; baseline them at registration
+        # so shipped deltas count only work done in *this* process.
+        engines.append((engine, dict(engine.stats.snapshot())))
+    return engine
 
 
 def worker_state() -> Any:
@@ -102,20 +158,62 @@ def attach_array(spec: ShmSpec):
     return shared.array
 
 
-def _run_task(fn: Callable, args: Tuple) -> Tuple:
-    """Worker-side wrapper: time the task and capture failures.
+def _engine_totals() -> Dict[str, float]:
+    """Summed litho-counter snapshot over this worker's warm engines.
+
+    Each engine's registration-time baseline is subtracted, so totals
+    reflect only calls made in this worker process.
+    """
+    totals: Dict[str, float] = {}
+    for engine, baseline in _WORKER_STATE["engines"]:
+        for name, value in engine.stats.snapshot().items():
+            totals[name] = (totals.get(name, 0.0) + value
+                            - baseline.get(name, 0.0))
+    return totals
+
+
+def _run_task(fn: Callable, args: Tuple, ship_telemetry: bool = False
+              ) -> Tuple:
+    """Worker-side wrapper: time the task, capture failures + telemetry.
 
     Failures come back as data (not raised) so the parent never trips
-    over an exception type that does not survive pickling.
+    over an exception type that does not survive pickling.  Every
+    report carries a :class:`TaskTelemetry`: the engine-counter delta
+    always ships (six floats); spans and profiler tables ship only
+    when ``ship_telemetry`` (the parent was tracing at submit time).
     """
+    heartbeat = _WORKER_STATE["heartbeat"]
+    if heartbeat is not None:
+        heartbeat.task_started()
+    before = _engine_totals()
+    tracer = prof = None
+    if ship_telemetry:
+        tracer = trace.enable(trace.Tracer())
+        prof = profiler.enable()
     started = time.perf_counter()
+    failure = None
+    value = None
     try:
-        value = fn(*args)
-    except BaseException as exc:  # noqa: BLE001 - reported to the parent
-        return ("error", f"{type(exc).__name__}: {exc}",
-                traceback.format_exc(), os.getpid(),
-                time.perf_counter() - started)
-    return ("ok", value, os.getpid(), time.perf_counter() - started)
+        try:
+            value = fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - reported to parent
+            failure = (f"{type(exc).__name__}: {exc}",
+                       traceback.format_exc())
+    finally:
+        if ship_telemetry:
+            trace.disable()
+            profiler.disable()
+    seconds = time.perf_counter() - started
+    after = _engine_totals()
+    delta = {name: after[name] - before.get(name, 0.0) for name in after}
+    telemetry = obs_aggregate.capture_task(tracer, prof, delta, seconds)
+    if heartbeat is not None:
+        heartbeat.task_finished()
+    if failure is not None:
+        message, remote_tb = failure
+        return ("error", message, remote_tb, os.getpid(), seconds,
+                telemetry)
+    return ("ok", value, os.getpid(), seconds, telemetry)
 
 
 # ----------------------------------------------------------------------
@@ -130,11 +228,21 @@ class PoolStats:
     wall_seconds: float = 0.0
     busy_seconds: Dict[int, float] = field(default_factory=dict)
     task_counts: Dict[int, int] = field(default_factory=dict)
+    task_records: List[Tuple[int, float]] = field(default_factory=list)
+    stalls: List[StallEvent] = field(default_factory=list)
+    fleet: FleetTelemetry = field(default_factory=FleetTelemetry)
 
-    def record(self, pid: int, seconds: float) -> None:
+    def record(self, pid: int, seconds: float,
+               telemetry: Optional[TaskTelemetry] = None) -> None:
         self.tasks += 1
         self.busy_seconds[pid] = self.busy_seconds.get(pid, 0.0) + seconds
         self.task_counts[pid] = self.task_counts.get(pid, 0) + 1
+        self.task_records.append((pid, seconds))
+        if telemetry is not None:
+            self.fleet.add(telemetry)
+
+    def record_stall(self, event: StallEvent) -> None:
+        self.stalls.append(event)
 
     @property
     def total_busy_seconds(self) -> float:
@@ -146,19 +254,57 @@ class PoolStats:
             return 0.0
         return self.total_busy_seconds / (self.wall_seconds * self.workers)
 
+    def median_task_seconds(self) -> float:
+        if not self.task_records:
+            return 0.0
+        return statistics.median(seconds for _, seconds in
+                                 self.task_records)
+
+    def stragglers(self, k: float = 3.0, min_tasks: int = 4
+                   ) -> List[Tuple[int, float]]:
+        """Tasks slower than ``k`` × the median task time.
+
+        Judged post-hoc over the whole run (a straggler beats its
+        heartbeat, so the watchdog rightly ignores it); needs at
+        least ``min_tasks`` records for the median to mean anything.
+        """
+        if len(self.task_records) < max(min_tasks, 1):
+            return []
+        median = self.median_task_seconds()
+        if median <= 0.0:
+            return []
+        return [(pid, seconds) for pid, seconds in self.task_records
+                if seconds > k * median]
+
     def format_table(self) -> str:
         """Per-worker utilization table (``repro profile`` output)."""
+        straggler_pids: Dict[int, int] = {}
+        for pid, _ in self.stragglers():
+            straggler_pids[pid] = straggler_pids.get(pid, 0) + 1
+        stall_pids: Dict[int, int] = {}
+        for event in self.stalls:
+            stall_pids[event.pid] = stall_pids.get(event.pid, 0) + 1
         lines = [f"{'worker pid':>12s} {'tasks':>6s} {'busy s':>9s} "
-                 f"{'util %':>7s}"]
+                 f"{'util %':>7s} {'flags':>14s}"]
         for pid in sorted(self.busy_seconds):
             busy = self.busy_seconds[pid]
             util = (100.0 * busy / self.wall_seconds
                     if self.wall_seconds > 0 else 0.0)
+            flags = []
+            if stall_pids.get(pid):
+                flags.append(f"stalls:{stall_pids[pid]}")
+            if straggler_pids.get(pid):
+                flags.append(f"slow:{straggler_pids[pid]}")
             lines.append(f"{pid:>12d} {self.task_counts[pid]:>6d} "
-                         f"{busy:>9.3f} {util:>6.1f}%")
+                         f"{busy:>9.3f} {util:>6.1f}% "
+                         f"{','.join(flags) or '-':>14s}")
         lines.append(f"{'total':>12s} {self.tasks:>6d} "
                      f"{self.total_busy_seconds:>9.3f} "
-                     f"{100.0 * self.utilization():>6.1f}%")
+                     f"{100.0 * self.utilization():>6.1f}% "
+                     f"{'':>14s}")
+        if self.fleet.engine_seconds > 0.0:
+            lines.append(obs_aggregate.format_engine_table(
+                self.fleet.engine_totals))
         return "\n".join(lines)
 
 
@@ -167,6 +313,10 @@ def default_context() -> str:
     if "fork" in multiprocessing.get_all_start_methods():
         return "fork"
     return "spawn"
+
+
+def _health_default() -> bool:
+    return os.environ.get(HEALTH_ENV, "1") not in ("0", "off", "no", "")
 
 
 class WorkerPool:
@@ -186,13 +336,33 @@ class WorkerPool:
         weights for the flow/Table-2 workloads).
     context:
         ``multiprocessing`` start-method name; default prefers ``fork``.
+    telemetry:
+        ``True``/``False`` forces span+profiler shipping per task on or
+        off; ``None`` (default) ships whenever the parent has an active
+        tracer at :meth:`map` time.  Engine-counter deltas always ship.
+    health:
+        Heartbeat board + watchdog + /proc sampler.  ``None`` follows
+        ``REPRO_POOL_HEALTH`` (default on).
+    stall_after:
+        Watchdog threshold: an *active* task whose heartbeat is older
+        than this many seconds is flagged into :attr:`PoolStats.stalls`.
+    heartbeat_interval:
+        Worker beat (and parent scan) period in seconds.
+    registry:
+        Metrics registry for pool gauges and resource samples; a fresh
+        one per pool by default (export via ``repro.obs.export``).
     """
 
     def __init__(self, workers: int,
                  litho_config: Optional[LithoConfig] = None,
                  precision: Optional[str] = None,
                  state: Any = None,
-                 context: Optional[str] = None):
+                 context: Optional[str] = None,
+                 telemetry: Optional[bool] = None,
+                 health: Optional[bool] = None,
+                 stall_after: float = 5.0,
+                 heartbeat_interval: float = 0.25,
+                 registry: Optional[MetricsRegistry] = None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
@@ -200,46 +370,108 @@ class WorkerPool:
         self.precision = resolve_precision(precision)
         self.state = state
         self.context = context or default_context()
+        self.telemetry = telemetry
+        self.health = _health_default() if health is None else bool(health)
+        self.stall_after = float(stall_after)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.stats = PoolStats(workers=self.workers)
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._board: Optional[HeartbeatBoard] = None
+        self._watchdog: Optional[Watchdog] = None
+        self._traced_pids: Set[int] = set()
 
     # ------------------------------------------------------------------
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
+            heartbeat_spec = None
+            if self.health:
+                try:
+                    self._board = HeartbeatBoard(
+                        capacity=max(4 * self.workers, 8), create=True)
+                except Exception:  # no shared memory: run unmonitored
+                    self._board = None
+                if self._board is not None:
+                    heartbeat_spec = (self._board.name, self._board.capacity,
+                                      self.heartbeat_interval)
+                    sampler = (ResourceSampler(self.registry)
+                               if obs_health.proc_available() else None)
+                    self._watchdog = Watchdog(
+                        self._board, stall_after=self.stall_after,
+                        interval=self.heartbeat_interval,
+                        on_stall=self.stats.record_stall,
+                        sampler=sampler)
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=multiprocessing.get_context(self.context),
                 initializer=_worker_init,
-                initargs=(self.litho_config, self.precision, self.state))
+                initargs=(self.litho_config, self.precision, self.state,
+                          heartbeat_spec))
         return self._executor
 
+    def _absorb(self, pid: int, seconds: float,
+                telemetry: Optional[TaskTelemetry]) -> None:
+        """Fold one task report into stats and the active tracer."""
+        self.stats.record(pid, seconds, telemetry)
+        tracer = trace.active()
+        if tracer is None or telemetry is None or not telemetry.spans:
+            return
+        if pid not in self._traced_pids:
+            self._traced_pids.add(pid)
+            tracer.add_external_events([
+                obs_aggregate.process_metadata_event(
+                    pid, f"repro worker {pid}")])
+        tracer.add_external_events(
+            obs_aggregate.chrome_events(telemetry, tracer.epoch))
+
     def map(self, fn: Callable, items: Iterable[Tuple],
-            label: str = "parallel.map") -> List[Any]:
+            label: str = "parallel.map",
+            progress: Optional[ProgressFn] = None) -> List[Any]:
         """Run ``fn(*item)`` for every item; results in submission order.
 
         ``fn`` must be a module-level function.  A task exception
         cancels the remaining work and raises :class:`WorkerTaskError`
         with the worker traceback; a dead worker raises
-        :class:`WorkerCrashError`.
+        :class:`WorkerCrashError`.  ``progress`` (if given) is called
+        as ``progress(done, total, pid, seconds)`` after every
+        finished task, in completion order.
         """
         items = list(items)
         executor = self._ensure_executor()
+        ship = (trace.is_enabled() if self.telemetry is None
+                else bool(self.telemetry))
+        total = len(items)
+        self.registry.gauge("pool.tasks_total").set(
+            self.registry.gauge("pool.tasks_total").value + total)
+        done_gauge = self.registry.gauge("pool.tasks_done")
         started = time.perf_counter()
-        futures = [executor.submit(_run_task, fn, tuple(item))
-                   for item in items]
-        results: List[Any] = []
-        with trace.span(label, tasks=len(items), workers=self.workers):
+        futures: Dict[Any, int] = {}
+        results: List[Any] = [None] * total
+        if self._watchdog is not None:
+            self._watchdog.start()
+        with trace.span(label, tasks=total, workers=self.workers):
             try:
-                for future in futures:
+                for index, item in enumerate(items):
+                    futures[executor.submit(
+                        _run_task, fn, tuple(item), ship)] = index
+                done = 0
+                for future in as_completed(futures):
                     report = future.result()
                     if report[0] == "error":
-                        _, message, remote_tb, pid, seconds = report
-                        self.stats.record(pid, seconds)
+                        _, message, remote_tb, pid, seconds, telemetry = (
+                            report)
+                        self._absorb(pid, seconds, telemetry)
                         raise WorkerTaskError(
                             f"worker task failed: {message}", remote_tb)
-                    _, value, pid, seconds = report
-                    self.stats.record(pid, seconds)
-                    results.append(value)
+                    _, value, pid, seconds, telemetry = report
+                    self._absorb(pid, seconds, telemetry)
+                    results[futures[future]] = value
+                    done += 1
+                    done_gauge.set(done_gauge.value + 1)
+                    self.registry.histogram(
+                        "pool.task_seconds").observe(seconds)
+                    if progress is not None:
+                        progress(done, total, pid, seconds)
             except BrokenProcessPool as exc:
                 raise WorkerCrashError(
                     "a worker process died before finishing its task "
@@ -247,20 +479,40 @@ class WorkerPool:
             finally:
                 for future in futures:
                     future.cancel()
+                if self._watchdog is not None:
+                    self._watchdog.stop()
                 self.stats.wall_seconds += time.perf_counter() - started
+                self.registry.gauge("pool.utilization").set(
+                    self.stats.utilization())
         return results
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        if self._board is not None:
+            try:
+                self._board.close()
+                self._board.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._board = None
 
     def __enter__(self) -> "WorkerPool":
         return self
 
     def __exit__(self, *exc) -> None:
         self.shutdown()
+
+    def __del__(self):  # last-resort board cleanup
+        try:
+            self.shutdown()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
 
     def __repr__(self) -> str:
         return (f"WorkerPool(workers={self.workers}, "

@@ -209,6 +209,37 @@ class RunLogger:
         self.event("span_summary", spans=spans, wall_seconds=wall_seconds,
                    coverage=coverage, trace_file=trace_file)
 
+    def worker_span_summary(self, pid: int,
+                            spans: Dict[str, Dict[str, float]],
+                            tasks: Optional[int] = None,
+                            busy_seconds: Optional[float] = None,
+                            dropped_spans: Optional[int] = None,
+                            litho: Optional[Dict[str, float]] = None) -> None:
+        """Record one worker process's aggregated span summary.
+
+        The pool parent emits one of these per worker pid after a
+        parallel/tiled run, from the shipped
+        :class:`~repro.obs.aggregate.TaskTelemetry` merges; ``litho``
+        carries the worker's summed engine-counter deltas.
+        """
+        spans = {name: {"count": int(entry["count"]),
+                        "seconds": float(entry["seconds"])}
+                 for name, entry in spans.items()}
+        self.event("worker_span_summary", pid=int(pid), spans=spans,
+                   tasks=tasks, busy_seconds=busy_seconds,
+                   dropped_spans=dropped_spans, litho=litho)
+
+    def resource_sample(self, pid: int, rss_bytes: float,
+                        cpu_seconds: float,
+                        num_threads: Optional[int] = None,
+                        cpu_utilization: Optional[float] = None) -> None:
+        """Record one /proc resource reading for a worker process."""
+        self.event("resource_sample", pid=int(pid),
+                   rss_bytes=float(rss_bytes),
+                   cpu_seconds=float(cpu_seconds),
+                   num_threads=num_threads,
+                   cpu_utilization=cpu_utilization)
+
     def iteration(self, iteration: int, losses: Dict[str, float],
                   seconds: float,
                   grad_norms: Optional[Dict[str, float]] = None,

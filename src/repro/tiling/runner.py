@@ -25,6 +25,7 @@ execution paths share the skip logic, so parity is unaffected.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -207,12 +208,15 @@ def _tile_flow_task(index: int, chip_spec: ShmSpec, out_spec: ShmSpec,
 def _run_tiled(target: np.ndarray, config: TilingConfig,
                litho_config: LithoConfig, workers: int,
                precision: Optional[str], pool: Optional[WorkerPool],
-               state, task_fn, task_args, serial_fn) -> TiledResult:
+               state, task_fn, task_args, serial_fn,
+               progress=None) -> TiledResult:
     """Common serial/parallel machinery for tiled ILT and tiled flow.
 
     ``task_fn(index, chip_spec, out_spec, windows_spec, tile_grid,
     *task_args)`` is the worker task; ``serial_fn(window, engine)`` is
     the equivalent in-process call returning the same 5-tuple.
+    ``progress`` (``(done, total, pid, seconds)``) fires per finished
+    tile on both paths — it is what ``repro monitor`` renders.
     """
     target = np.asarray(target, dtype=float)
     if target.ndim != 2 or target.shape[0] != target.shape[1]:
@@ -246,6 +250,8 @@ def _run_tiled(target: np.ndarray, config: TilingConfig,
                 skipped_count += int(skipped)
                 _commit(tile, mask_w, relaxed_w, mask,
                         None if windows is not None else relaxed, None)
+                if progress is not None:
+                    progress(tile.index + 1, len(tiles), os.getpid(), 0.0)
                 if windows is not None:
                     windows[tile.index] = relaxed_w
             if windows is not None:
@@ -276,7 +282,7 @@ def _run_tiled(target: np.ndarray, config: TilingConfig,
                   shared_windows.spec if shared_windows is not None
                   else None, tile_grid) + task_args
                  for tile in tiles],
-                label="tiling.map")
+                label="tiling.map", progress=progress)
             mask = np.array(shared_out.array[0], copy=True)
             relaxed = np.array(shared_out.array[1], copy=True)
             if shared_windows is not None:
@@ -316,7 +322,8 @@ def tiled_ilt(target: np.ndarray,
               workers: int = 1,
               precision: Optional[str] = None,
               max_iterations: Optional[int] = None,
-              pool: Optional[WorkerPool] = None) -> TiledResult:
+              pool: Optional[WorkerPool] = None,
+              progress=None) -> TiledResult:
     """ILT over a chip-scale binary target raster, tile by tile.
 
     Parameters
@@ -340,7 +347,8 @@ def tiled_ilt(target: np.ndarray,
         (litho_config, ilt_config, max_iterations, config.skip_empty),
         lambda window, engine: _ilt_window(
             window, litho_config, ilt_config, max_iterations, engine,
-            config.skip_empty))
+            config.skip_empty),
+        progress=progress)
 
 
 def tiled_flow(generator: MaskGenerator, target: np.ndarray,
@@ -350,7 +358,8 @@ def tiled_flow(generator: MaskGenerator, target: np.ndarray,
                workers: int = 1,
                precision: Optional[str] = None,
                refine_iterations: Optional[int] = None,
-               pool: Optional[WorkerPool] = None) -> TiledResult:
+               pool: Optional[WorkerPool] = None,
+               progress=None) -> TiledResult:
     """GAN-OPC flow (generate + refine) over a chip raster, tile by tile.
 
     Generator weights are broadcast once per worker through the pool's
@@ -367,4 +376,5 @@ def tiled_flow(generator: MaskGenerator, target: np.ndarray,
         (litho_config, refine_config, refine_iterations, config.skip_empty),
         lambda window, engine: _flow_window(
             window, generator, litho_config, refine_config,
-            refine_iterations, engine, config.skip_empty))
+            refine_iterations, engine, config.skip_empty),
+        progress=progress)

@@ -153,3 +153,35 @@ class TestFigures:
             assert comp.ilt_bridges >= 0
             assert comp.pgan_necks >= 0
             assert comp.ilt_overlay.shape == comp.pgan_overlay.shape
+
+
+class TestTable2Parity:
+    """Parallel Table 2 must account for every worker litho call
+    (ISSUE 8 satellite): the shipped engine-counter deltas summed over
+    the fleet reconcile 1:1 with the serial run's parent counters."""
+
+    @pytest.fixture(scope="class")
+    def parallel_table2(self, pipeline, generators):
+        clips = iccad13_suite(pipeline.litho)[:3]
+        return run_table2(pipeline, generators, clips=clips, workers=2)
+
+    def test_engine_counts_match_serial(self, table2, parallel_table2):
+        assert table2.pool_stats is None
+        assert parallel_table2.pool_stats is not None
+        for counter in ("forward_calls", "forward_masks",
+                        "gradient_calls", "gradient_masks"):
+            assert int(parallel_table2.engine_stats[counter]) == \
+                int(table2.engine_stats[counter]), counter
+
+    def test_fleet_table_renders(self, parallel_table2):
+        text = parallel_table2.pool_stats.format_table()
+        assert "litho engine" in text
+        assert parallel_table2.engine_table()  # engine_stats populated
+
+    def test_results_match_serial(self, table2, parallel_table2):
+        for method in ("ILT", "GAN-OPC", "PGAN-OPC"):
+            for serial, parallel in zip(table2.columns[method],
+                                        parallel_table2.columns[method]):
+                assert serial.l2_nm2 == pytest.approx(parallel.l2_nm2)
+                assert serial.pvband_nm2 == \
+                    pytest.approx(parallel.pvband_nm2)

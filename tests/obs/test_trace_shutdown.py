@@ -1,0 +1,81 @@
+"""Tracer shutdown hardening (ISSUE 8 satellite).
+
+A process that exits while a tracer is still installed (worker killed
+mid-task, uncaught exception, ``sys.exit`` inside a span) must not
+silently truncate the JSONL span stream: the atexit hook flushes and
+closes it and prints a partial-trace warning to stderr.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.obs import trace
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _run_script(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(REPO_SRC)
+    return subprocess.run([sys.executable, "-c", script], cwd=tmp_path,
+                          env=env, capture_output=True, text=True,
+                          timeout=60)
+
+
+def test_exit_without_disable_flushes_stream_and_warns(tmp_path):
+    result = _run_script(
+        "from repro.obs import trace\n"
+        "trace.enable(jsonl_path='spans.jsonl')\n"
+        "with trace.span('work'):\n"
+        "    pass\n"
+        "raise SystemExit(0)\n",  # exits without trace.disable()
+        tmp_path)
+    assert result.returncode == 0
+    assert "partial trace" in result.stderr
+    assert "1 finished spans" in result.stderr
+    lines = (tmp_path / "spans.jsonl").read_text().strip().splitlines()
+    assert len(lines) == 1
+    record = json.loads(lines[0])  # complete strict-JSON line, not torn
+    assert record["name"] == "work"
+
+
+def test_clean_disable_does_not_warn(tmp_path):
+    result = _run_script(
+        "from repro.obs import trace\n"
+        "trace.enable(jsonl_path='spans.jsonl')\n"
+        "with trace.span('work'):\n"
+        "    pass\n"
+        "trace.disable()\n",
+        tmp_path)
+    assert result.returncode == 0
+    assert "partial trace" not in result.stderr
+
+
+def test_atexit_flush_in_process():
+    tracer = trace.enable(trace.Tracer())
+    with trace.span("x"):
+        pass
+    trace._atexit_flush()
+    assert not trace.is_enabled()
+    assert len(tracer.spans()) == 1
+    # Idempotent once nothing is active.
+    trace._atexit_flush()
+
+
+def test_reset_for_child_drops_without_closing(tmp_path):
+    path = str(tmp_path / "spans.jsonl")
+    tracer = trace.enable(jsonl_path=path)
+    with trace.span("parent-span"):
+        pass
+    trace.reset_for_child()  # what _worker_init does after fork
+    assert not trace.is_enabled()
+    assert tracer._jsonl_fh is not None and not tracer._jsonl_fh.closed
+    trace.enable(tracer)  # parent still owns a working stream
+    with trace.span("after"):
+        pass
+    trace.disable()
+    lines = open(path, encoding="utf-8").read().strip().splitlines()
+    assert [json.loads(line)["name"] for line in lines] == \
+        ["parent-span", "after"]

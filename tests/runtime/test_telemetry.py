@@ -295,3 +295,91 @@ class TestFlowTelemetry:
         assert record["event"] == "flow"
         assert record["refine_iterations"] >= 1
         assert record["litho"]["forward_calls"] >= 1
+
+
+class TestWorkerSpanSummary:
+    """Schema round-trip for the ISSUE 8 fleet-telemetry record types."""
+
+    def _record(self, **extra):
+        record = {"schema": SCHEMA_VERSION, "event": "worker_span_summary",
+                  "phase": "flow", "ts": 1.0, "pid": 4242,
+                  "spans": {"litho.forward": {"count": 8, "seconds": 0.4}}}
+        record.update(extra)
+        return record
+
+    def test_valid_record_passes(self):
+        validate_record(self._record())
+        validate_record(self._record(tasks=8, busy_seconds=0.5,
+                                     dropped_spans=0,
+                                     litho={"forward_calls": 8}))
+
+    @pytest.mark.parametrize("mutate", [
+        lambda r: r.pop("pid"),
+        lambda r: r.pop("spans"),
+        lambda r: r.update(pid=1.5),
+        lambda r: r.update(spans={"s": {"count": 1}}),
+        lambda r: r.update(litho={"forward_calls": "nan"}),
+        lambda r: r.update(stray=1),
+    ])
+    def test_invalid_record_rejected(self, mutate):
+        record = self._record()
+        mutate(record)
+        with pytest.raises(TelemetrySchemaError):
+            validate_record(record)
+
+    def test_logger_helper_coerces_and_round_trips(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with RunLogger(path, "flow") as logger:
+            logger.worker_span_summary(
+                np.int64(4242),
+                {"litho.forward": {"count": np.int64(8),
+                                   "seconds": np.float64(0.4)}},
+                tasks=8, busy_seconds=0.5, dropped_spans=0,
+                litho={"forward_calls": 8.0})
+        (record,) = _read_records(path)
+        validate_record(record)
+        assert record["pid"] == 4242
+        assert type(record["pid"]) is int
+        assert record["spans"]["litho.forward"] == {"count": 8,
+                                                    "seconds": 0.4}
+        assert record["litho"]["forward_calls"] == 8.0
+
+
+class TestResourceSample:
+    def _record(self, **extra):
+        record = {"schema": SCHEMA_VERSION, "event": "resource_sample",
+                  "phase": "monitor", "ts": 1.0, "pid": 4242,
+                  "rss_bytes": 1048576.0, "cpu_seconds": 0.25}
+        record.update(extra)
+        return record
+
+    def test_valid_record_passes(self):
+        validate_record(self._record())
+        validate_record(self._record(num_threads=3, cpu_utilization=0.8))
+
+    @pytest.mark.parametrize("mutate", [
+        lambda r: r.pop("pid"),
+        lambda r: r.pop("rss_bytes"),
+        lambda r: r.pop("cpu_seconds"),
+        lambda r: r.update(num_threads=1.5),
+        lambda r: r.update(rss_bytes="nan"),
+        lambda r: r.update(stray=1),
+    ])
+    def test_invalid_record_rejected(self, mutate):
+        record = self._record()
+        mutate(record)
+        with pytest.raises(TelemetrySchemaError):
+            validate_record(record)
+
+    def test_logger_helper_coerces_and_round_trips(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with RunLogger(path, "monitor") as logger:
+            logger.resource_sample(np.int64(4242),
+                                   rss_bytes=np.float64(1048576.0),
+                                   cpu_seconds=np.float64(0.25),
+                                   num_threads=3, cpu_utilization=0.8)
+        (record,) = _read_records(path)
+        validate_record(record)
+        assert type(record["pid"]) is int
+        assert record["rss_bytes"] == 1048576.0
+        assert record["cpu_utilization"] == 0.8

@@ -328,3 +328,115 @@ class TestTiled:
         stdout = capsys.readouterr().out
         assert "tiles: 16" in stdout
         assert os.path.exists(out)
+
+    def test_flow_tiled_workers_merged_trace_and_telemetry(
+            self, chip_file, tmp_path, capsys):
+        """A 2-worker tiled flow is as observable as a serial one: one
+        Perfetto-loadable trace with litho spans from every worker pid
+        plus validated worker_span_summary telemetry (ISSUE 8)."""
+        import json
+
+        from repro.runtime import validate_record
+
+        config = GanOpcConfig.small(32)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(0))
+        ckpt = str(tmp_path / "gen.npz")
+        nn.save_state(generator, ckpt)
+        trace_dir = str(tmp_path / "traces")
+        telemetry_dir = str(tmp_path / "telemetry")
+        assert main(["flow", chip_file, ckpt, "--tiled",
+                     "--tile-size", "32", "--halo", "8",
+                     "--iterations", "4", "--workers", "2",
+                     "--trace-dir", trace_dir,
+                     "--telemetry-dir", telemetry_dir,
+                     "--out", str(tmp_path / "mask.pgm")]) == 0
+        capsys.readouterr()
+
+        (trace_path,) = [os.path.join(trace_dir, name)
+                         for name in os.listdir(trace_dir)
+                         if name.endswith(".json")]
+        chrome = json.load(open(trace_path, encoding="utf-8"))
+        complete = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        worker_pids = {e["pid"] for e in complete} - {os.getpid()}
+        assert len(worker_pids) == 2
+        litho_pids = {e["pid"] for e in complete
+                      if e["name"] == "litho.forward"}
+        assert worker_pids <= litho_pids
+
+        path = os.path.join(telemetry_dir, "flow.jsonl")
+        records = [json.loads(line) for line in open(path, encoding="utf-8")
+                   if line.strip()]
+        summaries = [r for r in records
+                     if r["event"] == "worker_span_summary"]
+        assert {r["pid"] for r in summaries} == worker_pids
+        for record in records:
+            validate_record(record)
+        for record in summaries:
+            assert record["litho"]["forward_calls"] == \
+                record["spans"]["litho.forward"]["count"]
+
+
+class TestMonitor:
+    @pytest.fixture()
+    def chip_file(self, tmp_path):
+        out = str(tmp_path / "chip.glp")
+        assert main(["chip", "--cells", "2", "--cell-extent", "256",
+                     "--fill", "1.0", "--seed", "1", "--out", out]) == 0
+        return out
+
+    def test_monitor_ilt_reports_progress_and_fleet(self, chip_file,
+                                                    tmp_path, capsys):
+        out = str(tmp_path / "mask.pgm")
+        metrics = str(tmp_path / "metrics.txt")
+        assert main(["monitor", chip_file, "--tile-size", "32",
+                     "--halo", "8", "--iterations", "4", "--workers", "2",
+                     "--update-every", "0", "--metrics-out", metrics,
+                     "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "16/16" in stdout
+        assert "eta" in stdout
+        assert "worker pid" in stdout  # per-worker utilization table
+        assert "fleet litho engine" in stdout
+        assert os.path.exists(out)
+        content = open(metrics, encoding="utf-8").read()
+        assert content.endswith("# EOF\n")
+        assert "repro_pool_tasks_done 16" in content
+
+    def test_monitor_flow_with_checkpoint_telemetry(self, chip_file,
+                                                    tmp_path, capsys):
+        import json
+
+        from repro.runtime import validate_record
+
+        config = GanOpcConfig.small(32)
+        generator = MaskGenerator(config.generator_channels,
+                                  rng=np.random.default_rng(0))
+        ckpt = str(tmp_path / "gen.npz")
+        nn.save_state(generator, ckpt)
+        telemetry_dir = str(tmp_path / "telemetry")
+        assert main(["monitor", chip_file, "--checkpoint", ckpt,
+                     "--tile-size", "32", "--halo", "8",
+                     "--iterations", "4", "--workers", "2",
+                     "--update-every", "0",
+                     "--telemetry-dir", telemetry_dir,
+                     "--out", str(tmp_path / "mask.pgm")]) == 0
+        capsys.readouterr()
+        path = os.path.join(telemetry_dir, "monitor.jsonl")
+        records = [json.loads(line) for line in open(path, encoding="utf-8")
+                   if line.strip()]
+        for record in records:
+            validate_record(record)
+        assert len([r for r in records
+                    if r["event"] == "worker_span_summary"]) == 2
+
+    def test_monitor_metrics_port_serves_scrapes(self, chip_file,
+                                                 tmp_path, capsys):
+        # Port 0 binds an ephemeral port; the run just has to complete
+        # with the exporter attached and report where it listened.
+        assert main(["monitor", chip_file, "--tile-size", "32",
+                     "--halo", "8", "--iterations", "2", "--workers", "1",
+                     "--update-every", "0", "--metrics-port", "0",
+                     "--out", str(tmp_path / "mask.pgm")]) == 0
+        stdout = capsys.readouterr().out
+        assert "serving metrics at http://" in stdout
