@@ -279,9 +279,11 @@ def test_write_bench_substrate_record():
     machine-readable and checked in at the repo root, so later changes
     can diff their engine throughput and flow stage split against it.
     """
-    recorder = BenchRecorder("substrate")
+    from repro.litho.kernels import config_hash
 
     grid = 64
+    recorder = BenchRecorder("substrate",
+                             config_hash=config_hash(LithoConfig.small(grid)))
     kernels = build_kernels(LithoConfig.small(grid))
     engine = LithoEngine.for_kernels(kernels, precision="f64")
     engine32 = LithoEngine.for_kernels(kernels, precision="f32")

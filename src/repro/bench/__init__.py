@@ -12,7 +12,8 @@ from .harness import (DefectComparison, ExperimentConfig, Pipeline,
                       run_figure9, run_table2, train_generators)
 from .iccad13 import (PAPER_AVERAGES, PAPER_TABLE2, PAPER_WINDOW_NM,
                       BenchmarkClip, iccad13_suite, make_clip, scaled_area)
-from .record import BenchRecorder, load_record, measure
+from .record import (BenchRecorder, BenchRecordError, load_record,
+                     measure)
 from .visualize import (ascii_curve, montage, overlay_comparison, read_pgm,
                         save_gallery, write_pgm)
 
@@ -24,5 +25,5 @@ __all__ = [
     "run_figure8", "run_figure9", "DefectComparison",
     "write_pgm", "read_pgm", "montage", "ascii_curve",
     "overlay_comparison", "save_gallery",
-    "BenchRecorder", "measure", "load_record",
+    "BenchRecorder", "BenchRecordError", "measure", "load_record",
 ]

@@ -182,6 +182,46 @@ def train_generators(pipeline: Pipeline,
 # ----------------------------------------------------------------------
 # Table 2
 # ----------------------------------------------------------------------
+#: Bump when the Table2Result persistence layout changes.
+TABLE2_SCHEMA_VERSION = 1
+
+
+def _encode_mask(mask: np.ndarray) -> Dict:
+    """Lossless strict-JSON encoding of a mask image.
+
+    Binary masks (the Table 2 case) pack to 1 bit/pixel; anything else
+    keeps raw float64 bytes.  Both are base64 so the JSON stays small
+    and exact.
+    """
+    import base64
+    mask = np.asarray(mask)
+    if mask.ndim != 2:
+        raise ValueError(f"mask must be 2-D, got shape {mask.shape}")
+    values = np.unique(mask)
+    if np.isin(values, (0.0, 1.0)).all():
+        payload = np.packbits(mask.astype(np.uint8).ravel()).tobytes()
+        encoding = "bits"
+    else:
+        payload = np.ascontiguousarray(mask, dtype=np.float64).tobytes()
+        encoding = "f64"
+    return {"encoding": encoding, "shape": [int(s) for s in mask.shape],
+            "data": base64.b64encode(payload).decode("ascii")}
+
+
+def _decode_mask(entry: Dict) -> np.ndarray:
+    import base64
+    payload = base64.b64decode(entry["data"])
+    shape = tuple(entry["shape"])
+    count = int(np.prod(shape))
+    if entry["encoding"] == "bits":
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8),
+                             count=count)
+        return bits.reshape(shape).astype(float)
+    if entry["encoding"] == "f64":
+        return np.frombuffer(payload, dtype=np.float64).reshape(shape).copy()
+    raise ValueError(f"unknown mask encoding {entry['encoding']!r}")
+
+
 @dataclass
 class Table2Result:
     """Everything the Table 2 experiment produces."""
@@ -266,12 +306,80 @@ class Table2Result:
                          f"{avg['worst_corner_l2_nm2']:14.1f} {epe}")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict:
+        """Lossless strict-JSON form of the whole result.
+
+        Evaluations (including window metrics and EPE hotspots) go
+        through :meth:`MaskEvaluation.to_dict`, masks are base64
+        bit-packed, clips round-trip through the GLP text format.
+        ``pool_stats`` is a live accounting object and deliberately not
+        serialized — ``engine_stats`` already carries the fleet totals.
+        """
+        from ..geometry import glp
+        return {
+            "schema": TABLE2_SCHEMA_VERSION,
+            "columns": {method: [ev.to_dict() for ev in evals]
+                        for method, evals in self.columns.items()},
+            "masks": {method: [_encode_mask(mask) for mask in masks]
+                      for method, masks in self.masks.items()},
+            "clips": [{"name": clip.name,
+                       "target_area": float(clip.target_area),
+                       "glp": glp.dumps(clip.layout)}
+                      for clip in self.clips],
+            "table": self.table,
+            "stage_seconds": self.stage_seconds,
+            "engine_stats": self.engine_stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Table2Result":
+        """Inverse of :meth:`to_dict` (``pool_stats`` comes back None)."""
+        from ..geometry import glp
+        schema = data.get("schema")
+        if schema != TABLE2_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported table2 schema {schema!r} "
+                f"(expected {TABLE2_SCHEMA_VERSION})")
+        return cls(
+            columns={method: [MaskEvaluation.from_dict(entry)
+                              for entry in entries]
+                     for method, entries in data["columns"].items()},
+            masks={method: [_decode_mask(entry) for entry in entries]
+                   for method, entries in data["masks"].items()},
+            clips=[BenchmarkClip(name=entry["name"],
+                                 layout=glp.loads(entry["glp"]),
+                                 target_area=entry["target_area"])
+                   for entry in data["clips"]],
+            table=data.get("table", ""),
+            stage_seconds={method: list(stages) for method, stages
+                           in data.get("stage_seconds", {}).items()},
+            engine_stats=dict(data.get("engine_stats", {})),
+        )
+
+
+def _emit_clip_results(logger, result: "Table2Result") -> None:
+    """Stream one ``clip_result`` record per (method, clip) evaluation."""
+    if logger is None:
+        return
+    from ..runs.quality import clip_metrics
+    for method, evaluations in result.columns.items():
+        for index, evaluation in enumerate(evaluations):
+            stages = None
+            if result.stage_seconds.get(method):
+                stages = result.stage_seconds[method][index]
+            logger.clip_result(
+                evaluation.name, method, clip_metrics(evaluation),
+                runtime_seconds=evaluation.runtime_seconds,
+                stage_seconds=stages,
+                epe_hotspots=evaluation.epe_hotspots)
+
 
 def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
                clips: Optional[List[BenchmarkClip]] = None,
                workers: int = 1,
                conditions: Optional[ConditionSet] = None,
-               pw_objective: str = "nominal") -> Table2Result:
+               pw_objective: str = "nominal",
+               logger=None) -> Table2Result:
     """ILT [7] vs GAN-OPC vs PGAN-OPC on the substitute suite.
 
     ``workers > 1`` evaluates one clip (all three methods) per worker
@@ -284,13 +392,21 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
     L2/EPE columns), and when ``pw_objective`` is not ``"nominal"`` the
     optimizers also *descend* that corner aggregation instead of the
     nominal-only objective.
+
+    ``logger`` (a :class:`~repro.runtime.telemetry.RunLogger`) streams
+    quality telemetry into the run ledger: per-evaluation-point
+    ``quality_sample`` records during each serial optimization and one
+    ``clip_result`` record per (method, clip) at the end.  Parallel
+    runs emit only the ``clip_result`` records (worker iteration
+    samples stay in the workers).
     """
     cfg = pipeline.config
     clips = clips or iccad13_suite(pipeline.litho)
     if workers > 1:
         return _run_table2_parallel(pipeline, generators, clips, workers,
                                     conditions=conditions,
-                                    pw_objective=pw_objective)
+                                    pw_objective=pw_objective,
+                                    logger=logger)
 
     condition_engine = (LithoEngine.for_conditions(pipeline.kernels,
                                                    conditions,
@@ -325,6 +441,10 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
     for clip in clips:
         target = (rasterize(clip.layout, cfg.grid) >= 0.5).astype(float)
 
+        if logger is not None:
+            ilt.logger = logger
+            ilt.quality_context = {"clip": clip.name, "method": "ILT",
+                                   "stage": "refinement"}
         start = time.perf_counter()
         ilt_result = ilt.optimize(target)
         ilt_runtime = time.perf_counter() - start
@@ -337,6 +457,11 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
             {"generation": 0.0, "refinement": ilt_runtime})
 
         for method, flow in flows.items():
+            if logger is not None:
+                flow.refiner.logger = logger
+                flow.refiner.quality_context = {
+                    "clip": clip.name, "method": method,
+                    "stage": "refinement"}
             flow_result = flow.optimize(target)
             columns[method].append(evaluate_mask(
                 pipeline.simulator, flow_result.mask, target,
@@ -353,6 +478,7 @@ def run_table2(pipeline: Pipeline, generators: TrainedGenerators,
                           engine_stats=pipeline.engine.stats.delta(
                               stats_before))
     result.table = comparison_table(columns, baseline="ILT")
+    _emit_clip_results(logger, result)
     return result
 
 
@@ -360,7 +486,8 @@ def _run_table2_parallel(pipeline: Pipeline, generators: TrainedGenerators,
                          clips: List[BenchmarkClip],
                          workers: int,
                          conditions: Optional[ConditionSet] = None,
-                         pw_objective: str = "nominal") -> Table2Result:
+                         pw_objective: str = "nominal",
+                         logger=None) -> Table2Result:
     """Clip-parallel Table 2: one task evaluates all methods on a clip."""
     from ..parallel.flow import _table2_clip_task, generator_payload
     from ..parallel.pool import WorkerPool
@@ -403,6 +530,15 @@ def _run_table2_parallel(pipeline: Pipeline, generators: TrainedGenerators,
                           engine_stats=dict(pool.stats.fleet.engine_totals),
                           pool_stats=pool.stats)
     result.table = comparison_table(columns, baseline="ILT")
+    _emit_clip_results(logger, result)
+    if logger is not None:
+        for event in pool.stats.stalls:
+            logger.anomaly("worker_stall", pid=event.pid,
+                           task_seq=event.task_seq,
+                           gap_seconds=event.gap_seconds)
+        for pid, seconds in pool.stats.stragglers():
+            logger.anomaly("straggler", pid=pid, seconds=seconds,
+                           median_seconds=pool.stats.median_task_seconds())
     return result
 
 

@@ -42,8 +42,12 @@ def measure(fn: Callable[[], object], repeats: int = 5,
 class BenchRecorder:
     """Collects named timing entries and writes one ``BENCH_*.json``."""
 
-    def __init__(self, benchmark: str):
+    def __init__(self, benchmark: str,
+                 config_hash: Optional[str] = None):
         self.benchmark = benchmark
+        #: optional litho-config kernel hash; ties the record to the
+        #: exact optical model the numbers were measured under.
+        self.config_hash = config_hash
         self.entries: Dict[str, Dict[str, float]] = {}
 
     def add(self, name: str, seconds: float,
@@ -70,9 +74,12 @@ class BenchRecorder:
                         grid=grid, batch=batch, **extra)
 
     def to_dict(self) -> dict:
-        return {
+        from ..runs.store import git_revision, utc_iso
+        record = {
             "schema": RECORD_SCHEMA_VERSION,
             "benchmark": self.benchmark,
+            "generated_utc": utc_iso(),
+            "git_rev": git_revision(),
             "machine": {
                 "platform": platform.platform(),
                 "python": platform.python_version(),
@@ -80,6 +87,9 @@ class BenchRecorder:
             "entries": {name: self.entries[name]
                         for name in sorted(self.entries)},
         }
+        if self.config_hash is not None:
+            record["config_hash"] = self.config_hash
+        return record
 
     def write(self, path: str) -> str:
         """Atomically write the record as pretty-printed strict JSON."""
@@ -94,7 +104,33 @@ class BenchRecorder:
         return path
 
 
+class BenchRecordError(ValueError):
+    """A ``BENCH_*.json`` file is missing, corrupt or schema-less."""
+
+
 def load_record(path: str) -> dict:
-    """Read a ``BENCH_*.json`` previously written by :class:`BenchRecorder`."""
-    with open(path, "r", encoding="utf-8") as fh:
-        return json.load(fh)
+    """Read a ``BENCH_*.json`` previously written by :class:`BenchRecorder`.
+
+    Raises :class:`BenchRecordError` with a pointed message when the
+    file is missing, not JSON, or lacks the expected schema stamp —
+    downstream comparison code should never have to guess why a record
+    failed to parse.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except FileNotFoundError:
+        raise BenchRecordError(f"bench record not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise BenchRecordError(
+            f"{path} is not valid JSON ({exc}); regenerate it by "
+            f"rerunning the benchmark suite") from exc
+    if not isinstance(record, dict) \
+            or record.get("schema") != RECORD_SCHEMA_VERSION:
+        raise BenchRecordError(
+            f"{path}: missing or unsupported bench schema "
+            f"{record.get('schema') if isinstance(record, dict) else None!r}"
+            f" (expected {RECORD_SCHEMA_VERSION})")
+    if "entries" not in record or not isinstance(record["entries"], dict):
+        raise BenchRecordError(f"{path}: record has no 'entries' table")
+    return record

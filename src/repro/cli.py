@@ -20,7 +20,15 @@ without writing Python:
 * ``monitor``    — run a tiled job under live fleet monitoring:
   per-tile progress with ETA, pool utilization, stall/straggler
   flags, and OpenMetrics exposition (``--metrics-port`` HTTP or
-  ``--metrics-out`` file).
+  ``--metrics-out`` file);
+* ``runs``       — inspect the run ledger (``list``/``show``/``diff``);
+* ``report``     — render a recorded run to self-contained HTML.
+
+``ilt``, ``train``, ``flow`` and ``table2`` record every invocation in
+the run ledger (``--runs-dir``, default ``.repro_runs/``; disable with
+``--no-run-record``): a manifest (config hash, git rev, seed,
+precision, argv, package versions) plus schema-validated quality
+telemetry that ``runs diff`` and ``report`` read back (DESIGN.md §14).
 
 ``train`` and ``flow`` also accept ``--trace-dir`` to capture span
 traces alongside their normal outputs; with ``--workers > 1`` the
@@ -95,6 +103,37 @@ def _emit_fleet_telemetry(logger, pool_stats, registry=None) -> None:
                 num_threads=(int(values["threads"])
                              if "threads" in values else None),
                 cpu_utilization=values.get("cpu_utilization"))
+
+
+@contextlib.contextmanager
+def _run_record(args, command: str, litho=None, conditions=None,
+                seed: Optional[int] = None, params: Optional[dict] = None):
+    """Open a run in the ledger for the duration of a CLI command.
+
+    Yields the :class:`~repro.runs.RunHandle` (or ``None`` under
+    ``--no-run-record``); on exit stamps the finish time and status
+    (``error`` when the command raised) into the manifest.  Commands
+    put final metrics into ``run.manifest.summary`` and link artifacts
+    before the block ends.
+    """
+    if getattr(args, "no_run_record", False):
+        yield None
+        return
+    from .runs import RunStore
+    store = RunStore(getattr(args, "runs_dir", None))
+    run = store.create(command, argv=sys.argv[1:], litho=litho,
+                       conditions=conditions, seed=seed,
+                       precision=getattr(args, "precision", None),
+                       workers=getattr(args, "workers", None),
+                       params=params)
+    run.log_manifest_record()
+    try:
+        yield run
+    except BaseException:
+        run.finish(status="error")
+        raise
+    run.finish(status="complete")
+    print(f"run recorded: {run.manifest.run_id} (store: {store.root})")
 
 
 def _litho(args):
@@ -210,6 +249,39 @@ def _print_tiled(result, out: Optional[str]) -> None:
         print(f"mask written to {out}")
 
 
+def _record_tiled(run, result, method: str) -> None:
+    """Stream a tiled run's quality telemetry into its run record.
+
+    One ``clip_result`` per non-empty tile (core-restricted L2), plus
+    stall/straggler ``anomaly`` records and per-worker span summaries
+    when the run was parallel.
+    """
+    if run is None:
+        return
+    grid = result.tile_grid
+    tile_l2 = np.asarray(result.tile_l2)
+    for tile in grid.tiles():
+        run.logger.clip_result(
+            f"tile-r{tile.row}c{tile.col}", method,
+            {"l2_px": float(tile_l2[tile.index])})
+    stats = result.pool_stats
+    if stats is not None:
+        for event in stats.stalls:
+            run.logger.anomaly("worker_stall", pid=event.pid,
+                               task_seq=event.task_seq,
+                               gap_seconds=event.gap_seconds)
+        for pid, seconds in stats.stragglers():
+            run.logger.anomaly("straggler", pid=pid, seconds=seconds,
+                               median_seconds=stats.median_task_seconds())
+        _emit_fleet_telemetry(run.logger, stats)
+        run.manifest.summary["litho"] = dict(stats.fleet.engine_totals)
+    run.manifest.summary.update(
+        {"l2_px": float(result.l2),
+         "tiles_total": result.tiles_total,
+         "tiles_skipped": result.tiles_skipped,
+         "runtime_seconds": float(result.runtime_seconds)})
+
+
 def cmd_simulate(args) -> int:
     from .bench import write_pgm
     from .litho import LithoSimulator
@@ -250,9 +322,16 @@ def cmd_ilt(args) -> int:
         tiling = _tiled_config(args)
         litho = LithoConfig.small(tiling.tile)
         _, target = _chip_target(args.clip, tiling, litho)
-        result = tiled_ilt(target, tiling, litho,
-                           ILTConfig(max_iterations=args.iterations),
-                           workers=args.workers, precision=args.precision)
+        with _run_record(args, "ilt", litho=litho,
+                         params={"clip": args.clip, "tiled": True,
+                                 "iterations": args.iterations,
+                                 "tile_size": args.tile_size,
+                                 "halo": args.halo}) as run:
+            result = tiled_ilt(target, tiling, litho,
+                               ILTConfig(max_iterations=args.iterations),
+                               workers=args.workers,
+                               precision=args.precision)
+            _record_tiled(run, result, "tiled-ILT")
         _print_tiled(result, args.out)
         return 0
 
@@ -261,15 +340,34 @@ def cmd_ilt(args) -> int:
     layout, target = _load_target(args.clip, litho.grid)
     optimizer = ILTOptimizer(litho, ILTConfig(max_iterations=args.iterations),
                              engine=engine)
-    result = optimizer.optimize(target)
-    evaluation = evaluate_mask(LithoSimulator(litho, engine=engine),
-                               result.mask, target,
-                               layout=layout, name=layout.name or "clip",
-                               runtime_seconds=result.runtime_seconds)
+    clip_name = layout.name or "clip"
+    with _run_record(args, "ilt", litho=litho,
+                     params={"clip": args.clip,
+                             "iterations": args.iterations}) as run:
+        stats_before = engine.stats.snapshot()
+        if run is not None:
+            optimizer.logger = run.logger
+            optimizer.quality_context = {"clip": clip_name,
+                                         "method": "ILT",
+                                         "stage": "refinement"}
+        result = optimizer.optimize(target)
+        evaluation = evaluate_mask(LithoSimulator(litho, engine=engine),
+                                   result.mask, target,
+                                   layout=layout, name=clip_name,
+                                   runtime_seconds=result.runtime_seconds)
+        write_pgm(result.mask, args.out)
+        if run is not None:
+            from .runs import clip_metrics
+            run.logger.clip_result(
+                clip_name, "ILT", clip_metrics(evaluation),
+                runtime_seconds=result.runtime_seconds,
+                epe_hotspots=evaluation.epe_hotspots)
+            run.manifest.summary["litho"] = engine.stats.delta(stats_before)
+            run.add_artifact("mask", args.out)
+            run.import_file("clip", args.clip)
     print(f"iterations: {result.iterations} (converged={result.converged})")
     for key, value in evaluation.as_dict().items():
         print(f"{key}: {value}")
-    write_pgm(result.mask, args.out)
     print(f"mask written to {args.out}")
     return 0
 
@@ -321,48 +419,83 @@ def cmd_train(args) -> int:
         print(f"building reference masks with {args.workers} workers ...")
         dataset.precompute(workers=args.workers)
 
-    def runtime(phase: str) -> RunConfig:
-        checkpoint_dir = (os.path.join(args.checkpoint_dir, phase)
-                          if args.checkpoint_dir else None)
-        return RunConfig(checkpoint_dir=checkpoint_dir,
-                         checkpoint_every=args.checkpoint_every,
-                         keep_last=args.keep_last,
-                         resume=args.resume,
-                         telemetry_dir=args.telemetry_dir,
-                         policy=args.policy,
-                         max_grad_norm=args.max_grad_norm,
-                         lr_backoff=args.lr_backoff)
+    with _run_record(args, "train", litho=litho, conditions=conditions,
+                     seed=args.seed,
+                     params={"phase": args.phase,
+                             "iterations": args.iterations,
+                             "dataset_size": args.dataset_size,
+                             "batch_size": args.batch_size,
+                             "litho_weight": args.litho_weight,
+                             "policy": args.policy}) as run:
+        # Without an explicit --telemetry-dir the phase streams land in
+        # the run directory, so `repro runs show` / `repro report` see
+        # the training convergence curves and anomaly records.
+        telemetry_dir = args.telemetry_dir
+        if telemetry_dir is None and run is not None:
+            telemetry_dir = run.dir
 
-    with _trace_to(args.trace_dir, "train"):
-        if args.phase in ("pretrain", "both"):
-            pretrainer = ILTGuidedPretrainer(generator, litho, config,
-                                             engine=engine,
-                                             conditions=conditions)
-            history = pretrainer.train(dataset, args.iterations,
-                                       verbose=args.verbose,
-                                       runtime=runtime("pretrain"))
-            final = (history.litho_error[-1]
-                     if history.litho_error else float("nan"))
-            print(f"pretrain: {history.iterations} iterations recorded, "
-                  f"final litho error {final:.1f} "
-                  f"({history.runtime_seconds:.2f}s)")
-        if args.phase in ("gan", "both"):
-            discriminator = PairDiscriminator(
-                litho.grid, config.discriminator_channels,
-                rng=np.random.default_rng(args.seed + 1))
-            trainer = GanOpcTrainer(generator, discriminator, config,
-                                    litho_config=litho, engine=engine,
-                                    conditions=conditions)
-            history = trainer.train(dataset, args.iterations,
-                                    verbose=args.verbose,
-                                    runtime=runtime("gan"))
-            final = (history.l2_to_reference[-1]
-                     if history.l2_to_reference else float("nan"))
-            print(f"gan: {history.iterations} iterations recorded, "
-                  f"final l2 {final:.1f} ({history.runtime_seconds:.2f}s)")
-    if args.out:
-        nn.save_state(generator, args.out)
-        print(f"generator weights written to {args.out}")
+        def runtime(phase: str) -> RunConfig:
+            checkpoint_dir = (os.path.join(args.checkpoint_dir, phase)
+                              if args.checkpoint_dir else None)
+            return RunConfig(checkpoint_dir=checkpoint_dir,
+                             checkpoint_every=args.checkpoint_every,
+                             keep_last=args.keep_last,
+                             resume=args.resume,
+                             telemetry_dir=telemetry_dir,
+                             policy=args.policy,
+                             max_grad_norm=args.max_grad_norm,
+                             lr_backoff=args.lr_backoff)
+
+        with _trace_to(args.trace_dir, "train"):
+            if args.phase in ("pretrain", "both"):
+                pretrainer = ILTGuidedPretrainer(generator, litho, config,
+                                                 engine=engine,
+                                                 conditions=conditions)
+                history = pretrainer.train(dataset, args.iterations,
+                                           verbose=args.verbose,
+                                           runtime=runtime("pretrain"))
+                final = (history.litho_error[-1]
+                         if history.litho_error else float("nan"))
+                print(f"pretrain: {history.iterations} iterations recorded, "
+                      f"final litho error {final:.1f} "
+                      f"({history.runtime_seconds:.2f}s)")
+                if run is not None:
+                    run.manifest.summary["pretrain"] = {
+                        "iterations": history.iterations,
+                        "final_litho_error": final,
+                        "runtime_seconds": history.runtime_seconds}
+            if args.phase in ("gan", "both"):
+                discriminator = PairDiscriminator(
+                    litho.grid, config.discriminator_channels,
+                    rng=np.random.default_rng(args.seed + 1))
+                trainer = GanOpcTrainer(generator, discriminator, config,
+                                        litho_config=litho, engine=engine,
+                                        conditions=conditions)
+                history = trainer.train(dataset, args.iterations,
+                                        verbose=args.verbose,
+                                        runtime=runtime("gan"))
+                final = (history.l2_to_reference[-1]
+                         if history.l2_to_reference else float("nan"))
+                print(f"gan: {history.iterations} iterations recorded, "
+                      f"final l2 {final:.1f} "
+                      f"({history.runtime_seconds:.2f}s)")
+                if run is not None:
+                    run.manifest.summary["gan"] = {
+                        "iterations": history.iterations,
+                        "final_l2": final,
+                        "runtime_seconds": history.runtime_seconds}
+        if run is not None:
+            for phase in ("pretrain", "gan"):
+                path = os.path.join(telemetry_dir or "", f"{phase}.jsonl")
+                if telemetry_dir and os.path.isfile(path):
+                    run.add_artifact(f"telemetry_{phase}", path)
+            if args.checkpoint_dir:
+                run.add_artifact("checkpoints", args.checkpoint_dir)
+        if args.out:
+            nn.save_state(generator, args.out)
+            print(f"generator weights written to {args.out}")
+            if run is not None:
+                run.add_artifact("weights", args.out)
     return 0
 
 
@@ -395,20 +528,29 @@ def cmd_flow(args) -> int:
                               precision=args.precision,
                               state=generator_payload(generator))
         try:
-            with _trace_to(args.trace_dir, "flow"):
-                result = tiled_flow(
-                    generator, target, tiling, litho,
-                    ILTConfig(max_iterations=args.iterations, patience=4),
-                    workers=args.workers, precision=args.precision,
-                    pool=pool)
-            if args.telemetry_dir and result.pool_stats is not None:
-                import os
-                with RunLogger(
-                        os.path.join(args.telemetry_dir, "flow.jsonl"),
-                        "flow", append=True) as logger:
-                    _emit_fleet_telemetry(
-                        logger, result.pool_stats,
-                        pool.registry if pool is not None else None)
+            with _run_record(args, "flow", litho=litho,
+                             params={"clip": args.clip,
+                                     "checkpoint": args.checkpoint,
+                                     "tiled": True,
+                                     "iterations": args.iterations,
+                                     "tile_size": args.tile_size,
+                                     "halo": args.halo}) as run:
+                with _trace_to(args.trace_dir, "flow"):
+                    result = tiled_flow(
+                        generator, target, tiling, litho,
+                        ILTConfig(max_iterations=args.iterations,
+                                  patience=4),
+                        workers=args.workers, precision=args.precision,
+                        pool=pool)
+                _record_tiled(run, result, "tiled-GAN-OPC")
+                if args.telemetry_dir and result.pool_stats is not None:
+                    import os
+                    with RunLogger(
+                            os.path.join(args.telemetry_dir, "flow.jsonl"),
+                            "flow", append=True) as logger:
+                        _emit_fleet_telemetry(
+                            logger, result.pool_stats,
+                            pool.registry if pool is not None else None)
         finally:
             if pool is not None:
                 pool.shutdown()
@@ -423,38 +565,66 @@ def cmd_flow(args) -> int:
     generator = MaskGenerator(config.generator_channels,
                               rng=np.random.default_rng(0))
     nn.load_state(generator, args.checkpoint)
-    logger = None
-    if args.telemetry_dir:
-        import os
-        logger = RunLogger(os.path.join(args.telemetry_dir, "flow.jsonl"),
-                           "flow", append=True)
-    flow = GanOpcFlow(generator, litho,
-                      ILTConfig(max_iterations=args.iterations, patience=4,
-                                pw_objective=args.pw_objective),
-                      engine=engine, logger=logger, conditions=conditions)
-    with _trace_to(args.trace_dir, "flow") as tracer:
-        result = flow.optimize(target)
-        if tracer is not None and logger is not None:
-            logger.span_summary(tracer.summary(),
-                                wall_seconds=tracer.wall_seconds(),
-                                coverage=tracer.coverage())
-    condition_engine = None
-    if conditions is not None:
-        from .litho import LithoEngine
-        condition_engine = LithoEngine.for_conditions(engine.kernels,
-                                                      conditions,
-                                                      engine.precision)
-    evaluation = evaluate_mask(LithoSimulator(litho, engine=engine),
-                               result.mask, target,
-                               layout=layout, name=layout.name or "clip",
-                               runtime_seconds=result.runtime_seconds,
-                               condition_engine=condition_engine)
+    clip_name = layout.name or "clip"
+    with _run_record(args, "flow", litho=litho, conditions=conditions,
+                     params={"clip": args.clip,
+                             "checkpoint": args.checkpoint,
+                             "iterations": args.iterations}) as run:
+        logger = None
+        if args.telemetry_dir:
+            import os
+            logger = RunLogger(os.path.join(args.telemetry_dir,
+                                            "flow.jsonl"),
+                               "flow", append=True)
+        elif run is not None:
+            logger = run.logger
+        flow = GanOpcFlow(generator, litho,
+                          ILTConfig(max_iterations=args.iterations,
+                                    patience=4,
+                                    pw_objective=args.pw_objective),
+                          engine=engine, logger=logger,
+                          conditions=conditions)
+        if run is not None:
+            flow.refiner.logger = run.logger
+            flow.refiner.quality_context = {"clip": clip_name,
+                                            "method": "GAN-OPC",
+                                            "stage": "refinement"}
+        stats_before = engine.stats.snapshot()
+        with _trace_to(args.trace_dir, "flow") as tracer:
+            result = flow.optimize(target)
+            if tracer is not None and logger is not None:
+                logger.span_summary(tracer.summary(),
+                                    wall_seconds=tracer.wall_seconds(),
+                                    coverage=tracer.coverage())
+        condition_engine = None
+        if conditions is not None:
+            from .litho import LithoEngine
+            condition_engine = LithoEngine.for_conditions(engine.kernels,
+                                                          conditions,
+                                                          engine.precision)
+        evaluation = evaluate_mask(LithoSimulator(litho, engine=engine),
+                                   result.mask, target,
+                                   layout=layout, name=clip_name,
+                                   runtime_seconds=result.runtime_seconds,
+                                   condition_engine=condition_engine)
+        write_pgm(result.mask, args.out)
+        if run is not None:
+            from .runs import clip_metrics
+            run.logger.clip_result(
+                clip_name, "GAN-OPC", clip_metrics(evaluation),
+                runtime_seconds=result.runtime_seconds,
+                stage_seconds={
+                    "generation": result.generation_seconds,
+                    "refinement": result.refinement_seconds},
+                epe_hotspots=evaluation.epe_hotspots)
+            run.manifest.summary["litho"] = engine.stats.delta(stats_before)
+            run.add_artifact("mask", args.out)
+            run.import_file("clip", args.clip)
     print(f"generation: {result.generation_seconds:.3f}s, "
           f"refinement: {result.refinement_seconds:.3f}s "
           f"({result.ilt_result.iterations} steps)")
     for key, value in evaluation.as_dict().items():
         print(f"{key}: {value}")
-    write_pgm(result.mask, args.out)
     print(f"mask written to {args.out}")
     return 0
 
@@ -687,20 +857,61 @@ def cmd_monitor(args) -> int:
 
 def cmd_table2(args) -> int:
     from .bench import ExperimentConfig, Pipeline, run_table2, train_generators
+    from .bench.iccad13 import iccad13_suite
 
     config = {"quick": ExperimentConfig.quick,
               "medium": ExperimentConfig.medium,
               "full": ExperimentConfig}[args.scale]()
     pipeline = Pipeline.build(config, precision=args.precision)
     conditions = _conditions(args, pipeline.litho)
-    print(f"training generators at scale {args.scale!r} "
-          f"(grid {config.grid}px) ...")
-    if args.workers > 1:
-        pipeline.dataset.precompute(workers=args.workers)
-    generators = train_generators(pipeline, verbose=args.verbose)
-    result = run_table2(pipeline, generators, workers=args.workers,
-                        conditions=conditions,
-                        pw_objective=args.pw_objective)
+    clips = None
+    if args.clips:
+        wanted = [name.strip() for name in args.clips.split(",")
+                  if name.strip()]
+        suite = {clip.name: clip for clip in iccad13_suite(pipeline.litho)}
+        unknown = [name for name in wanted if name not in suite]
+        if unknown:
+            print(f"error: unknown clip(s) {', '.join(unknown)} "
+                  f"(suite: {', '.join(suite)})", file=sys.stderr)
+            return 2
+        clips = [suite[name] for name in wanted]
+    with _run_record(args, "table2", litho=pipeline.litho,
+                     conditions=conditions, seed=config.seed,
+                     params={"scale": args.scale,
+                             "clips": args.clips or "all",
+                             "pw_objective": args.pw_objective}) as run:
+        print(f"training generators at scale {args.scale!r} "
+              f"(grid {config.grid}px) ...")
+        if args.workers > 1:
+            pipeline.dataset.precompute(workers=args.workers)
+        generators = train_generators(pipeline, verbose=args.verbose)
+        result = run_table2(pipeline, generators, clips=clips,
+                            workers=args.workers,
+                            conditions=conditions,
+                            pw_objective=args.pw_objective,
+                            logger=run.logger if run is not None else None)
+        if run is not None:
+            run.save_table2(result)
+            run.manifest.summary["litho"] = dict(result.engine_stats)
+            for method in result.columns:
+                l2, pvb, rt = result.averages(method)
+                run.manifest.summary[method] = {
+                    "l2_nm2": l2, "pvband_nm2": pvb,
+                    "runtime_seconds": rt}
+        if args.quality_out:
+            from .runs import (quality_record_from_table2,
+                               write_quality_record)
+            from .runs.store import git_revision
+            from .litho.kernels import config_hash as litho_hash
+            suite_name = (f"table2-{args.scale}"
+                          + (f"-{args.clips}" if args.clips else ""))
+            record = quality_record_from_table2(
+                result, suite_name, git_rev=git_revision(),
+                config_hash=litho_hash(pipeline.litho))
+            write_quality_record(record, args.quality_out)
+            print(f"quality record written to {args.quality_out}")
+            if run is not None:
+                run.add_artifact("quality_record", args.quality_out)
     print(result.table)
     print("per-stage runtime (mean seconds per clip):")
     for method in ("ILT", "GAN-OPC", "PGAN-OPC"):
@@ -716,6 +927,82 @@ def cmd_table2(args) -> int:
         print(f"process window ({conditions.describe()}, "
               f"objective {args.pw_objective!r}):")
         print(result.window_table())
+    return 0
+
+
+def cmd_runs(args) -> int:
+    from .runs import (RunStore, RunStoreError, diff_runs, format_run_diff,
+                       run_quality)
+
+    store = RunStore(args.runs_dir)
+    try:
+        if args.runs_command == "list":
+            manifests = store.runs()
+            if not manifests:
+                print(f"no runs in {store.root!r}")
+                return 0
+            print(f"{'run id':<34} {'command':<8} {'status':<9} "
+                  f"{'git':<8} {'started':<20}")
+            for m in manifests:
+                print(f"{m.run_id:<34} {m.command:<8} {m.status:<9} "
+                      f"{m.git_rev:<8} {m.started:<20}")
+            return 0
+
+        if args.runs_command == "show":
+            run = store.resolve(args.run)
+            m = run.manifest
+            for key, value in sorted(m.config_fields().items()):
+                print(f"{key}: {value}")
+            print(f"status: {m.status} ({m.started} -> "
+                  f"{m.finished or '...'})")
+            print(f"argv: {' '.join(m.argv)}")
+            for name, path in sorted(m.artifacts.items()):
+                print(f"artifact {name}: {path}")
+            quality = run_quality(run.dir)
+            for method, metrics in sorted(quality.aggregates().items()):
+                values = "  ".join(f"{key}={value:,.1f}"
+                                   for key, value in sorted(metrics.items()))
+                print(f"quality {method}: {values}")
+            for series, points in sorted(quality.samples.items()):
+                print(f"samples {series}: {len(points)} points "
+                      f"(last objective "
+                      f"{points[-1][1] if points else float('nan'):.4g})")
+            if quality.anomalies:
+                print(f"anomalies: {len(quality.anomalies)}")
+                for record in quality.anomalies[:10]:
+                    print(f"  {record.get('kind')}: "
+                          f"iteration={record.get('iteration')} "
+                          f"action={record.get('action')}")
+            return 0
+
+        # diff
+        run_a = store.resolve(args.run_a)
+        run_b = store.resolve(args.run_b)
+        diff = diff_runs(run_a.manifest, run_quality(run_a.dir),
+                         run_b.manifest, run_quality(run_b.dir))
+        metrics = ([m.strip() for m in args.metrics.split(",")]
+                   if args.metrics else None)
+        print(format_run_diff(diff, metrics=metrics,
+                              show_clips=not args.no_clips))
+        return 0
+    except RunStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_report(args) -> int:
+    from .runs import RunStore, RunStoreError, write_report
+
+    store = RunStore(args.runs_dir)
+    try:
+        run = store.resolve(args.run)
+        baseline = (store.resolve(args.baseline)
+                    if args.baseline else None)
+        path = write_report(run, args.out, baseline=baseline)
+    except RunStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"report written to {path} (run {run.manifest.run_id})")
     return 0
 
 
@@ -762,6 +1049,16 @@ def _add_corners(p, default_objective: str = "nominal") -> None:
                         f"(default: {default_objective})")
 
 
+def _add_runs_dir(p, record: bool = True) -> None:
+    p.add_argument("--runs-dir", default=None,
+                   help="run-ledger directory (default: REPRO_RUNS_DIR "
+                        "env or .repro_runs)")
+    if record:
+        p.add_argument("--no-run-record", action="store_true",
+                       help="do not record this invocation in the "
+                            "run ledger")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -804,6 +1101,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_precision(p)
     _add_workers(p)
     _add_tiling(p)
+    _add_runs_dir(p)
     p.set_defaults(func=cmd_ilt)
 
     p = sub.add_parser("sraf", help="insert assist features into a clip")
@@ -852,6 +1150,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_precision(p)
     _add_workers(p)
     _add_corners(p, default_objective="weighted")
+    _add_runs_dir(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("flow", help="GAN-OPC flow with a trained generator")
@@ -869,6 +1168,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(p)
     _add_tiling(p)
     _add_corners(p)
+    _add_runs_dir(p)
     p.set_defaults(func=cmd_flow)
 
     p = sub.add_parser(
@@ -928,11 +1228,56 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table2", help="run the Table 2 experiment")
     p.add_argument("--scale", choices=("quick", "medium", "full"),
                    default="medium")
+    p.add_argument("--clips", default=None,
+                   help="comma list of suite clip names to run "
+                        "(default: the whole suite); the CI quality "
+                        "gate uses a small deterministic subset")
+    p.add_argument("--quality-out", default=None,
+                   help="write the flat QUALITY_*.json gate record "
+                        "here (input to "
+                        "benchmarks/check_quality_regression.py)")
     p.add_argument("--verbose", action="store_true")
     _add_precision(p)
     _add_workers(p)
     _add_corners(p)
+    _add_runs_dir(p)
     p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser(
+        "runs", help="inspect the run ledger: list runs, show one, "
+                     "diff two (config + per-clip quality deltas)")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    q = runs_sub.add_parser("list", help="list recorded runs")
+    _add_runs_dir(q, record=False)
+    q = runs_sub.add_parser("show", help="show one run's manifest and "
+                                         "quality summary")
+    q.add_argument("run", help="run id, unique prefix/substring, or "
+                               "'latest'")
+    _add_runs_dir(q, record=False)
+    q = runs_sub.add_parser(
+        "diff", help="config + quality + engine-counter deltas B vs A")
+    q.add_argument("run_a", help="baseline run (A)")
+    q.add_argument("run_b", help="candidate run (B)")
+    q.add_argument("--metrics", default=None,
+                   help="comma list restricting the aggregate metric "
+                        "rows (default: all)")
+    q.add_argument("--no-clips", action="store_true",
+                   help="skip the per-clip delta section")
+    _add_runs_dir(q, record=False)
+    p.set_defaults(func=cmd_runs)
+
+    p = sub.add_parser(
+        "report", help="render a run to a self-contained static HTML "
+                       "report (convergence, per-clip quality, EPE "
+                       "hotspots, spans, anomalies)")
+    p.add_argument("run", help="run id, unique prefix/substring, or "
+                               "'latest'")
+    p.add_argument("--baseline", default=None,
+                   help="second run to compare against (bars + deltas)")
+    p.add_argument("--out", default="report.html",
+                   help="output HTML path (default: report.html)")
+    _add_runs_dir(p, record=False)
+    p.set_defaults(func=cmd_report)
 
     return parser
 

@@ -192,6 +192,11 @@ class ILTOptimizer:
             LithoEngine.for_conditions(self.kernels, conditions,
                                        self.engine.precision)
             if objective != "nominal" else None)
+        #: optional :class:`~repro.runtime.telemetry.RunLogger`; when
+        #: set, each evaluation point emits a ``quality_sample`` record
+        #: tagged with :attr:`quality_context` (clip/method/stage).
+        self.logger = None
+        self.quality_context: dict = {}
 
     # ------------------------------------------------------------------
     def initial_params(self, target: np.ndarray,
@@ -288,6 +293,10 @@ class ILTOptimizer:
                 with trace.span("ilt.evaluate", iteration=step):
                     mask, l2 = self._discrete_score(params, target)
                 l2_history.append(l2)
+                if self.logger is not None:
+                    self.logger.quality_sample(
+                        step, error, l2=float(l2),
+                        **self.quality_context)
                 if l2 < best_l2:
                     best_l2 = l2
                     best_mask = mask

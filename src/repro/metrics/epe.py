@@ -15,7 +15,7 @@ L2.  EPE is still reported because downstream users expect it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -63,6 +63,24 @@ class EPEReport:
     def max_abs_epe(self) -> float:
         finite = [abs(s.epe) for s in self.samples if np.isfinite(s.epe)]
         return max(finite) if finite else float("inf")
+
+    def hotspots(self, limit: Optional[int] = None) -> List[dict]:
+        """Violating control points as ``{x, y, epe}`` dicts (nm).
+
+        Sorted worst-first by |EPE| (non-finite EPEs — no contour found
+        within the search range — sort ahead of every finite one), so a
+        truncated list keeps the worst sites.  This is the payload of
+        ``clip_result`` telemetry records and the HTML report's
+        hotspot overlay.
+        """
+        violating = sorted(
+            (s for s in self.samples if s.violates(self.threshold)),
+            key=lambda s: (1, -abs(s.epe)) if np.isfinite(s.epe)
+            else (0, 0.0))
+        if limit is not None:
+            violating = violating[:limit]
+        return [{"x": float(s.x), "y": float(s.y), "epe": float(s.epe)}
+                for s in violating]
 
 
 def control_points(rect: Rect, spacing: float,

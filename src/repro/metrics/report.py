@@ -9,7 +9,7 @@ collections of evaluations into the row/column structure of Table 2
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -43,6 +43,10 @@ class MaskEvaluation:
     window_pvband_nm2: Optional[float] = None
     worst_corner_l2_nm2: Optional[float] = None
     worst_corner_epe: Optional[int] = None
+    #: violating EPE control points (``{x, y, epe}`` in nm, worst
+    #: first) — the run ledger's ``clip_result`` hotspot payload; not
+    #: part of :meth:`as_dict` so metric printouts stay scalar.
+    epe_hotspots: Optional[List[dict]] = None
 
     def as_dict(self) -> Dict:
         return {
@@ -58,6 +62,39 @@ class MaskEvaluation:
             "worst_corner_l2_nm2": self.worst_corner_l2_nm2,
             "worst_corner_epe": self.worst_corner_epe,
         }
+
+    def to_dict(self) -> Dict:
+        """Lossless strict-JSON dict (non-finite floats as strings)."""
+        from ..runtime.telemetry import sanitize
+        data = self.as_dict()
+        data["epe_hotspots"] = self.epe_hotspots
+        return sanitize(data)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MaskEvaluation":
+        """Inverse of :meth:`to_dict`."""
+        def _num(value):
+            if value in ("nan", "inf", "-inf"):
+                return float(value)
+            return value
+        hotspots = data.get("epe_hotspots")
+        if hotspots is not None:
+            hotspots = [{"x": h["x"], "y": h["y"], "epe": _num(h["epe"])}
+                        for h in hotspots]
+        return cls(
+            name=data["name"],
+            l2_px=_num(data["l2_px"]),
+            l2_nm2=_num(data["l2_nm2"]),
+            pvband_nm2=_num(data["pvband_nm2"]),
+            epe_violations=data.get("epe_violations"),
+            neck_defects=data.get("neck_defects"),
+            bridge_defects=data.get("bridge_defects"),
+            runtime_seconds=_num(data.get("runtime_seconds")),
+            window_pvband_nm2=_num(data.get("window_pvband_nm2")),
+            worst_corner_l2_nm2=_num(data.get("worst_corner_l2_nm2")),
+            worst_corner_epe=data.get("worst_corner_epe"),
+            epe_hotspots=hotspots,
+        )
 
 
 def evaluate_mask(simulator: LithoSimulator, mask: np.ndarray,
@@ -85,9 +122,11 @@ def evaluate_mask(simulator: LithoSimulator, mask: np.ndarray,
     cd_px = max(int(round(80.0 / pixel_nm * neck_fraction)), 1)
 
     epe_violations = None
+    epe_hotspots = None
     if layout is not None:
-        epe_violations = measure_epe(wafer, layout,
-                                     threshold=epe_threshold).violations
+        epe_report = measure_epe(wafer, layout, threshold=epe_threshold)
+        epe_violations = epe_report.violations
+        epe_hotspots = epe_report.hotspots() or None
 
     window_pvband = worst_l2 = worst_epe = None
     if condition_engine is not None:
@@ -113,6 +152,7 @@ def evaluate_mask(simulator: LithoSimulator, mask: np.ndarray,
         window_pvband_nm2=window_pvband,
         worst_corner_l2_nm2=worst_l2,
         worst_corner_epe=worst_epe,
+        epe_hotspots=epe_hotspots,
     )
 
 

@@ -1,0 +1,155 @@
+"""Run-to-run comparison: config deltas + quality metric deltas.
+
+``repro runs diff A B`` renders three sections:
+
+* **config** — every manifest field that differs (command, git rev,
+  litho config hash, corners, seed, precision, workers, CLI params,
+  package versions);
+* **quality** — per-clip and aggregate L2/PVB/EPE (and window metric)
+  deltas per method, from each run's ``clip_result`` records;
+* **engine** — litho-engine counter and throughput deltas from the
+  summary each run's manifest recorded at finish.
+
+Deltas are signed B−A with a relative ratio, so "did PR N make masks
+worse" reads directly off the table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .quality import RunQuality
+from .store import RunManifest
+
+
+@dataclass
+class RunDiff:
+    """Structured comparison of two runs (B relative to A)."""
+
+    a_id: str
+    b_id: str
+    config: List[Tuple[str, object, object]] = field(default_factory=list)
+    #: {method: {clip: {metric: (a, b)}}}
+    clips: Dict[str, Dict[str, Dict[str, Tuple[float, float]]]] = \
+        field(default_factory=dict)
+    #: {method: {metric: (a, b)}}
+    aggregates: Dict[str, Dict[str, Tuple[float, float]]] = \
+        field(default_factory=dict)
+    #: {counter: (a, b)}
+    engine: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def has_quality(self) -> bool:
+        return bool(self.aggregates)
+
+
+def diff_runs(manifest_a: RunManifest, quality_a: RunQuality,
+              manifest_b: RunManifest, quality_b: RunQuality) -> RunDiff:
+    """Compute the structured diff of two runs."""
+    diff = RunDiff(a_id=manifest_a.run_id, b_id=manifest_b.run_id)
+
+    fields_a = manifest_a.config_fields()
+    fields_b = manifest_b.config_fields()
+    for key in sorted(set(fields_a) | set(fields_b)):
+        value_a = fields_a.get(key)
+        value_b = fields_b.get(key)
+        if value_a != value_b:
+            diff.config.append((key, value_a, value_b))
+
+    agg_a = quality_a.aggregates()
+    agg_b = quality_b.aggregates()
+    for method in sorted(set(agg_a) & set(agg_b)):
+        metrics = {}
+        for key in sorted(set(agg_a[method]) & set(agg_b[method])):
+            metrics[key] = (agg_a[method][key], agg_b[method][key])
+        if metrics:
+            diff.aggregates[method] = metrics
+        per_clip: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        clips_a = quality_a.clip_results.get(method, {})
+        clips_b = quality_b.clip_results.get(method, {})
+        for clip in sorted(set(clips_a) & set(clips_b)):
+            shared = {
+                key: (clips_a[clip][key], clips_b[clip][key])
+                for key in sorted(set(clips_a[clip]) & set(clips_b[clip]))
+                if isinstance(clips_a[clip][key], (int, float))
+                and isinstance(clips_b[clip][key], (int, float))
+            }
+            if shared:
+                per_clip[clip] = shared
+        if per_clip:
+            diff.clips[method] = per_clip
+
+    litho_a = (manifest_a.summary or {}).get("litho", {})
+    litho_b = (manifest_b.summary or {}).get("litho", {})
+    for counter in sorted(set(litho_a) & set(litho_b)):
+        value_a, value_b = litho_a[counter], litho_b[counter]
+        if isinstance(value_a, (int, float)) \
+                and isinstance(value_b, (int, float)):
+            diff.engine[counter] = (float(value_a), float(value_b))
+    return diff
+
+
+# ----------------------------------------------------------------------
+# formatting
+# ----------------------------------------------------------------------
+def _ratio(a: float, b: float) -> str:
+    if not (isinstance(a, (int, float)) and isinstance(b, (int, float))):
+        return ""
+    if not (math.isfinite(a) and math.isfinite(b)) or a == 0:
+        return ""
+    return f"{b / a:7.3f}x"
+
+
+def _delta_line(label: str, a: float, b: float, width: int = 28) -> str:
+    return (f"  {label:<{width}} {a:>14.1f} -> {b:>14.1f}  "
+            f"{b - a:>+14.1f}  {_ratio(a, b):>9}")
+
+
+def format_run_diff(diff: RunDiff,
+                    metrics: Optional[List[str]] = None,
+                    show_clips: bool = True) -> str:
+    """Human-readable diff for ``repro runs diff``."""
+    lines = [f"runs diff: A={diff.a_id}  B={diff.b_id}"]
+
+    lines.append("")
+    lines.append("config deltas:")
+    if diff.config:
+        for key, value_a, value_b in diff.config:
+            lines.append(f"  {key:<24} {value_a!r:>24} -> {value_b!r}")
+    else:
+        lines.append("  (identical configuration)")
+
+    if diff.has_quality:
+        lines.append("")
+        lines.append(f"{'aggregate quality (mean over clips)':<30} "
+                     f"{'A':>14}    {'B':>14}  {'delta B-A':>14}  "
+                     f"{'ratio':>9}")
+        for method, entries in diff.aggregates.items():
+            lines.append(f"{method}:")
+            for key, (a, b) in entries.items():
+                if metrics and key not in metrics:
+                    continue
+                lines.append(_delta_line(key, a, b))
+        if show_clips and diff.clips:
+            lines.append("")
+            lines.append("per-clip deltas (l2_nm2):")
+            for method, per_clip in diff.clips.items():
+                for clip, entries in per_clip.items():
+                    if "l2_nm2" not in entries:
+                        continue
+                    a, b = entries["l2_nm2"]
+                    lines.append(
+                        _delta_line(f"{method}/{clip}", a, b, width=28))
+    else:
+        lines.append("")
+        lines.append("quality: no overlapping clip_result records "
+                     "(one run carried no quality telemetry?)")
+
+    if diff.engine:
+        lines.append("")
+        lines.append("litho engine counters:")
+        for counter, (a, b) in diff.engine.items():
+            lines.append(_delta_line(counter, a, b))
+    return "\n".join(lines)

@@ -1,0 +1,443 @@
+"""Self-contained static HTML report for a run (``repro report``).
+
+Everything is rendered with the stdlib: convergence curves and
+per-clip metric bars are inline SVG, EPE-hotspot overlays are
+base64 PNG data URIs produced by a minimal zlib/struct encoder — the
+resulting file has zero external references and can be archived as a
+CI artifact or mailed around.
+
+The renderer only *reads* the run directory (``manifest.json``,
+``quality.jsonl`` and, when present, the persisted ``table2.json``);
+it never re-runs lithography.  Hotspot coordinates were captured at
+evaluation time into ``clip_result`` records, and the target raster
+for the overlay comes from the clip geometry persisted with the
+Table 2 result.
+"""
+
+from __future__ import annotations
+
+import base64
+import html
+import json
+import math
+import os
+import struct
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .quality import GATE_METRICS, RunQuality, run_quality
+from .store import RunHandle, utc_iso
+
+#: Metrics charted per clip (subset of the gate metrics that every
+#: evaluation carries).
+CHART_METRICS = ("l2_nm2", "pvband_nm2", "epe_violations")
+
+_PALETTE = ("#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed",
+            "#0891b2")
+
+
+# ----------------------------------------------------------------------
+# stdlib PNG encoding
+# ----------------------------------------------------------------------
+def png_bytes(rgb: np.ndarray) -> bytes:
+    """Encode an ``(H, W, 3)`` uint8 image as an uncompressed-filter PNG."""
+    rgb = np.ascontiguousarray(rgb, dtype=np.uint8)
+    if rgb.ndim != 3 or rgb.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) uint8, got {rgb.shape}")
+    height, width = rgb.shape[:2]
+    raw = b"".join(b"\x00" + rgb[row].tobytes() for row in range(height))
+
+    def chunk(tag: bytes, data: bytes) -> bytes:
+        block = tag + data
+        return (struct.pack(">I", len(data)) + block
+                + struct.pack(">I", zlib.crc32(block) & 0xFFFFFFFF))
+
+    header = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
+    return (b"\x89PNG\r\n\x1a\n" + chunk(b"IHDR", header)
+            + chunk(b"IDAT", zlib.compress(raw, 6))
+            + chunk(b"IEND", b""))
+
+
+def png_data_uri(rgb: np.ndarray) -> str:
+    return ("data:image/png;base64,"
+            + base64.b64encode(png_bytes(rgb)).decode("ascii"))
+
+
+# ----------------------------------------------------------------------
+# SVG charts
+# ----------------------------------------------------------------------
+def _finite_points(points: Sequence[Tuple[float, float]]
+                   ) -> List[Tuple[float, float]]:
+    return [(x, y) for x, y in points
+            if math.isfinite(float(x)) and math.isfinite(float(y))]
+
+
+def svg_curves(series: Dict[str, List[Tuple[float, float]]],
+               width: int = 640, height: int = 220,
+               title: str = "") -> str:
+    """Multi-series line chart (iteration on x, objective on y)."""
+    pad = 42
+    named = {name: _finite_points(points)
+             for name, points in series.items()}
+    named = {name: pts for name, pts in named.items() if pts}
+    if not named:
+        return "<p class='empty'>no convergence samples recorded</p>"
+    xs = [x for pts in named.values() for x, _ in pts]
+    ys = [y for pts in named.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def sx(x: float) -> float:
+        return pad + (x - x_lo) / (x_hi - x_lo) * (width - 2 * pad)
+
+    def sy(y: float) -> float:
+        return height - pad - (y - y_lo) / (y_hi - y_lo) * (height - 2 * pad)
+
+    parts = [f"<svg viewBox='0 0 {width} {height}' width='{width}' "
+             f"height='{height}' role='img'>"]
+    if title:
+        parts.append(f"<text x='{width / 2:.0f}' y='16' class='ctitle' "
+                     f"text-anchor='middle'>{html.escape(title)}</text>")
+    parts.append(f"<rect x='{pad}' y='{pad / 2:.0f}' "
+                 f"width='{width - 2 * pad}' "
+                 f"height='{height - pad - pad / 2:.0f}' class='frame'/>")
+    parts.append(f"<text x='{pad}' y='{height - 8}' class='axis'>"
+                 f"{x_lo:g}</text>")
+    parts.append(f"<text x='{width - pad}' y='{height - 8}' class='axis' "
+                 f"text-anchor='end'>{x_hi:g}</text>")
+    parts.append(f"<text x='4' y='{sy(y_hi) + 4:.0f}' class='axis'>"
+                 f"{y_hi:.4g}</text>")
+    parts.append(f"<text x='4' y='{sy(y_lo):.0f}' class='axis'>"
+                 f"{y_lo:.4g}</text>")
+    for index, (name, pts) in enumerate(sorted(named.items())):
+        color = _PALETTE[index % len(_PALETTE)]
+        coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        parts.append(f"<polyline points='{coords}' fill='none' "
+                     f"stroke='{color}' stroke-width='1.5'/>")
+        parts.append(f"<text x='{pad + 6}' y='{pad / 2 + 14 + 14 * index:.0f}'"
+                     f" fill='{color}' class='legend'>"
+                     f"{html.escape(name)}</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def svg_bars(labels: Sequence[str],
+             groups: Dict[str, Sequence[Optional[float]]],
+             width: int = 640, height: int = 200,
+             title: str = "") -> str:
+    """Grouped bar chart: one cluster per label, one bar per group."""
+    pad = 42
+    values = [v for vs in groups.values() for v in vs
+              if v is not None and math.isfinite(float(v))]
+    if not labels or not values:
+        return "<p class='empty'>no data</p>"
+    top = max(max(values), 0.0) or 1.0
+    cluster = (width - 2 * pad) / max(len(labels), 1)
+    bar = cluster / (len(groups) + 1)
+    parts = [f"<svg viewBox='0 0 {width} {height}' width='{width}' "
+             f"height='{height}' role='img'>"]
+    if title:
+        parts.append(f"<text x='{width / 2:.0f}' y='16' class='ctitle' "
+                     f"text-anchor='middle'>{html.escape(title)}</text>")
+    base = height - pad
+    parts.append(f"<line x1='{pad}' y1='{base}' x2='{width - pad}' "
+                 f"y2='{base}' class='frame'/>")
+    parts.append(f"<text x='4' y='{pad / 2 + 8:.0f}' class='axis'>"
+                 f"{top:.4g}</text>")
+    for g_index, (name, vs) in enumerate(groups.items()):
+        color = _PALETTE[g_index % len(_PALETTE)]
+        parts.append(f"<text x='{pad + 6 + 110 * g_index}' y='{pad / 2:.0f}' "
+                     f"fill='{color}' class='legend'>"
+                     f"{html.escape(name)}</text>")
+        for l_index, value in enumerate(vs):
+            if value is None or not math.isfinite(float(value)):
+                continue
+            h = (float(value) / top) * (base - pad / 2 - 18)
+            x = pad + cluster * l_index + bar * (g_index + 0.5)
+            parts.append(f"<rect x='{x:.1f}' y='{base - h:.1f}' "
+                         f"width='{bar * 0.9:.1f}' height='{h:.1f}' "
+                         f"fill='{color}'><title>"
+                         f"{html.escape(name)}: {float(value):g}"
+                         f"</title></rect>")
+    for l_index, label in enumerate(labels):
+        x = pad + cluster * (l_index + 0.5)
+        parts.append(f"<text x='{x:.0f}' y='{height - 8}' class='axis' "
+                     f"text-anchor='middle'>{html.escape(label)}</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+# hotspot overlays
+# ----------------------------------------------------------------------
+def hotspot_overlay(target: np.ndarray, extent: float,
+                    hotspots: Sequence[dict],
+                    marker_px: int = 2) -> np.ndarray:
+    """Target raster in gray with violating EPE sites marked in red."""
+    target = np.asarray(target)
+    grid = target.shape[0]
+    pixel = extent / grid
+    gray = (np.clip(target, 0.0, 1.0) * 160).astype(np.uint8)
+    rgb = np.stack([gray, gray, gray], axis=-1)
+    for spot in hotspots:
+        col = int(float(spot["x"]) / pixel)
+        row = int(float(spot["y"]) / pixel)
+        r0, r1 = max(row - marker_px, 0), min(row + marker_px + 1, grid)
+        c0, c1 = max(col - marker_px, 0), min(col + marker_px + 1, grid)
+        if r0 < r1 and c0 < c1:
+            rgb[r0:r1, c0:c1] = (220, 38, 38)
+    return rgb
+
+
+def _load_table2(run: RunHandle):
+    path = run.artifact_path("table2")
+    if path is None or not os.path.isfile(path):
+        return None
+    from ..bench.harness import Table2Result
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return Table2Result.from_dict(json.load(fh))
+    except (ValueError, KeyError, json.JSONDecodeError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# HTML assembly
+# ----------------------------------------------------------------------
+_CSS = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto;
+       max-width: 72rem; color: #111827; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem;
+       border-bottom: 1px solid #e5e7eb; padding-bottom: .3rem; }
+table { border-collapse: collapse; font-size: .85rem; margin: .5rem 0; }
+th, td { border: 1px solid #e5e7eb; padding: .25rem .6rem;
+         text-align: left; }
+th { background: #f3f4f6; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.frame { fill: none; stroke: #d1d5db; }
+.axis { font-size: 10px; fill: #6b7280; }
+.legend { font-size: 11px; font-weight: 600; }
+.ctitle { font-size: 12px; fill: #374151; }
+.empty { color: #6b7280; font-style: italic; }
+.anom { color: #b91c1c; }
+figure { display: inline-block; margin: .4rem; text-align: center; }
+figcaption { font-size: .75rem; color: #6b7280; }
+img.overlay { image-rendering: pixelated; width: 192px; height: 192px;
+              border: 1px solid #e5e7eb; }
+"""
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"<td class='num'>{value:,.1f}</td>"
+    if isinstance(value, int):
+        return f"<td class='num'>{value:,d}</td>"
+    return f"<td>{html.escape(str(value))}</td>"
+
+
+def _manifest_section(run: RunHandle) -> str:
+    m = run.manifest
+    rows = [("run id", m.run_id), ("command", m.command),
+            ("status", m.status), ("started", m.started),
+            ("finished", m.finished or "-"), ("git rev", m.git_rev),
+            ("config hash", m.config_hash or "-"),
+            ("conditions", m.conditions or "nominal"),
+            ("seed", m.seed if m.seed is not None else "-"),
+            ("precision", m.precision or "-"),
+            ("workers", m.workers if m.workers is not None else "-"),
+            ("grid", m.grid if m.grid is not None else "-"),
+            ("argv", " ".join(m.argv) or "-")]
+    for key, value in sorted(m.packages.items()):
+        rows.append((f"package {key}", value))
+    for key, value in sorted(m.params.items()):
+        rows.append((f"param {key}", value))
+    body = "".join(f"<tr><th>{html.escape(str(key))}</th>{_cell(value)}</tr>"
+                   for key, value in rows)
+    return f"<h2>Manifest</h2><table>{body}</table>"
+
+
+def _convergence_section(quality: RunQuality) -> str:
+    series = {name: [(it, obj) for it, obj, _ in points]
+              for name, points in quality.samples.items()}
+    return ("<h2>Convergence</h2>"
+            + svg_curves(series, title="objective vs iteration"))
+
+
+def _metric_value(metrics: Dict[str, float], key: str) -> Optional[float]:
+    value = metrics.get(key)
+    if isinstance(value, (int, float)) and math.isfinite(float(value)):
+        return float(value)
+    return None
+
+
+def _clip_bars_section(quality: RunQuality,
+                       baseline: Optional[RunQuality],
+                       baseline_id: str = "baseline") -> str:
+    if not quality.clip_results:
+        return ("<h2>Per-clip quality</h2>"
+                "<p class='empty'>no clip_result records</p>")
+    clips = quality.clips
+    parts = ["<h2>Per-clip quality</h2>"]
+    for metric in CHART_METRICS:
+        groups: Dict[str, List[Optional[float]]] = {}
+        for method in quality.methods:
+            per_clip = quality.clip_results[method]
+            groups[method] = [
+                _metric_value(per_clip.get(clip, {}), metric)
+                for clip in clips]
+            if baseline is not None \
+                    and method in baseline.clip_results:
+                base_clips = baseline.clip_results[method]
+                groups[f"{method} ({baseline_id})"] = [
+                    _metric_value(base_clips.get(clip, {}), metric)
+                    for clip in clips]
+        if any(v is not None for vs in groups.values() for v in vs):
+            parts.append(svg_bars(clips, groups, title=metric))
+    return "".join(parts)
+
+
+def _aggregate_section(quality: RunQuality,
+                       baseline: Optional[RunQuality]) -> str:
+    agg = quality.aggregates()
+    if not agg:
+        return ""
+    base_agg = baseline.aggregates() if baseline is not None else {}
+    keys = [key for key in GATE_METRICS + ("runtime_seconds",)
+            if any(key in metrics for metrics in agg.values())]
+    head = "".join(f"<th>{html.escape(key)}</th>" for key in keys)
+    rows = []
+    for method, metrics in sorted(agg.items()):
+        cells = []
+        for key in keys:
+            value = metrics.get(key)
+            if value is None:
+                cells.append("<td class='num'>-</td>")
+                continue
+            base = base_agg.get(method, {}).get(key)
+            delta = (f" <small>({value - base:+,.1f})</small>"
+                     if base is not None else "")
+            cells.append(f"<td class='num'>{value:,.1f}{delta}</td>")
+        rows.append(f"<tr><th>{html.escape(method)}</th>"
+                    + "".join(cells) + "</tr>")
+    note = ("<p><small>parenthesised deltas are vs the baseline "
+            "run</small></p>" if base_agg else "")
+    return ("<h2>Aggregate quality (mean over clips)</h2>"
+            f"<table><tr><th>method</th>{head}</tr>"
+            + "".join(rows) + "</table>" + note)
+
+
+def _hotspot_section(run: RunHandle, quality: RunQuality,
+                     limit: int = 9) -> str:
+    if not quality.hotspots:
+        return ""
+    table2 = _load_table2(run)
+    if table2 is None:
+        sites = sum(len(spots) for spots in quality.hotspots.values())
+        return ("<h2>EPE hotspots</h2><p class='empty'>"
+                f"{sites} hotspot sites recorded, but no persisted "
+                "table2.json to rasterize overlays from</p>")
+    from ..geometry.raster import rasterize
+    clip_by_name = {clip.name: clip for clip in table2.clips}
+    grid = next((mask.shape[0] for masks in table2.masks.values()
+                 for mask in masks), 128)
+    figures = []
+    shown = sorted(quality.hotspots)[:limit]
+    for method, clip_name in shown:
+        clip = clip_by_name.get(clip_name)
+        if clip is None:
+            continue
+        target = rasterize(clip.layout, grid)
+        rgb = hotspot_overlay(target, clip.layout.extent,
+                              quality.hotspots[(method, clip_name)])
+        count = len(quality.hotspots[(method, clip_name)])
+        figures.append(
+            f"<figure><img class='overlay' alt='EPE hotspots "
+            f"{html.escape(method)}/{html.escape(clip_name)}' "
+            f"src='{png_data_uri(rgb)}'/>"
+            f"<figcaption>{html.escape(method)} / "
+            f"{html.escape(clip_name)} — {count} violating "
+            f"site{'s' if count != 1 else ''}</figcaption></figure>")
+    dropped = len(quality.hotspots) - len(shown)
+    more = (f"<p class='empty'>(+{dropped} more clip overlays "
+            f"not shown)</p>" if dropped > 0 else "")
+    return "<h2>EPE hotspots</h2>" + "".join(figures) + more
+
+
+def _spans_section(quality: RunQuality, manifest_summary: Dict) -> str:
+    parts = []
+    if quality.spans:
+        rows = "".join(
+            f"<tr><th>{html.escape(name)}</th>"
+            f"<td class='num'>{int(entry['count']):,d}</td>"
+            f"<td class='num'>{entry['seconds']:,.3f}</td></tr>"
+            for name, entry in sorted(quality.spans.items()))
+        parts.append("<h2>Spans</h2><table><tr><th>span</th><th>count"
+                     "</th><th>seconds</th></tr>" + rows + "</table>")
+    litho = (manifest_summary or {}).get("litho", {})
+    numeric = {key: value for key, value in sorted(litho.items())
+               if isinstance(value, (int, float))}
+    if numeric:
+        rows = "".join(f"<tr><th>{html.escape(key)}</th>{_cell(value)}</tr>"
+                       for key, value in numeric.items())
+        parts.append("<h2>Litho engine counters</h2><table>"
+                     + rows + "</table>")
+    return "".join(parts)
+
+
+def _anomaly_section(quality: RunQuality) -> str:
+    if not quality.anomalies:
+        return "<h2>Anomalies</h2><p class='empty'>none recorded</p>"
+    rows = []
+    for record in quality.anomalies:
+        detail = {key: value for key, value in record.items()
+                  if key not in ("event", "kind", "wall_time", "phase")}
+        rows.append(f"<tr><td class='anom'>"
+                    f"{html.escape(str(record.get('kind')))}</td>"
+                    f"<td>{html.escape(json.dumps(detail, sort_keys=True))}"
+                    f"</td></tr>")
+    return ("<h2>Anomalies</h2><table><tr><th>kind</th><th>detail</th>"
+            "</tr>" + "".join(rows) + "</table>")
+
+
+def render_report(run: RunHandle,
+                  baseline: Optional[RunHandle] = None) -> str:
+    """Render one run (optionally against a baseline run) to HTML."""
+    quality = run_quality(run.dir)
+    base_quality = run_quality(baseline.dir) if baseline is not None \
+        else None
+    baseline_note = (
+        f"<p>baseline run: <code>{html.escape(baseline.manifest.run_id)}"
+        f"</code></p>" if baseline is not None else "")
+    sections = [
+        _manifest_section(run),
+        _convergence_section(quality),
+        _aggregate_section(quality, base_quality),
+        _clip_bars_section(quality, base_quality),
+        _hotspot_section(run, quality),
+        _spans_section(quality, run.manifest.summary),
+        _anomaly_section(quality),
+    ]
+    title = f"repro run {run.manifest.run_id}"
+    return (
+        "<!DOCTYPE html><html lang='en'><head><meta charset='utf-8'/>"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p>generated {utc_iso()} by <code>repro report</code></p>"
+        + baseline_note + "".join(sections) + "</body></html>")
+
+
+def write_report(run: RunHandle, path: str,
+                 baseline: Optional[RunHandle] = None) -> str:
+    document = render_report(run, baseline=baseline)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(document)
+    return path

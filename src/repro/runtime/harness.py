@@ -175,6 +175,11 @@ class TrainingHarness:
         self.last_action = "ok"
         self._iter_started = time.perf_counter()
 
+    #: loss keys that define a phase's quality objective, in preference
+    #: order: the litho error for Algorithm 2 pre-training, the L2 to
+    #: the reference mask for Algorithm 1 GAN training.
+    QUALITY_KEYS = ("litho_error", "l2_to_reference")
+
     def end_iteration(self, iteration: int,
                       rng: Optional[np.random.Generator],
                       history: Dict[str, List[float]],
@@ -186,6 +191,11 @@ class TrainingHarness:
                 iteration=iteration, losses=losses, seconds=seconds,
                 grad_norms=self._grad_norms or None,
                 action=self.last_action, litho=self._litho_delta())
+            objective = next(
+                (losses[key] for key in self.QUALITY_KEYS if key in losses),
+                next(iter(losses.values())) if losses else float("nan"))
+            self.logger.quality_sample(iteration, objective,
+                                       stage=self.phase, seconds=seconds)
         every = self.config.checkpoint_every
         if self.checkpointer and every and (iteration + 1) % every == 0:
             self._save(iteration + 1, rng, history)
@@ -245,7 +255,7 @@ class TrainingHarness:
         policy = self.config.policy
         if policy == "raise" or self.recoveries > self.config.max_recoveries:
             if self.logger:
-                self.logger.event(
+                self.logger.anomaly(
                     "divergence", iteration=self._iteration or 0,
                     action="raise", values=values,
                     recoveries=self.recoveries)
@@ -260,7 +270,7 @@ class TrainingHarness:
         else:
             action = "skip"
         if self.logger:
-            self.logger.event(
+            self.logger.anomaly(
                 "divergence", iteration=self._iteration or 0,
                 action=action, values=values, recoveries=self.recoveries,
                 learning_rates={name: opt.lr for name, opt

@@ -115,6 +115,29 @@ def _check_type(name: str, value, type_name: str) -> None:
                             "integer")
                 _check_type(f"{name}[{key!r}]['seconds']", entry["seconds"],
                             "number")
+    elif type_name == "string_list":
+        ok = isinstance(value, list)
+        if ok:
+            for i, entry in enumerate(value):
+                _check_type(f"{name}[{i}]", entry, "string")
+    elif type_name == "string_map":
+        ok = isinstance(value, dict)
+        if ok:
+            for key, entry in value.items():
+                _check_type(f"{name}[{key!r}]", entry, "string")
+    elif type_name == "hotspot_list":
+        ok = isinstance(value, list)
+        if ok:
+            for i, entry in enumerate(value):
+                if not isinstance(entry, dict) or set(entry) != {"x", "y",
+                                                                 "epe"}:
+                    raise TelemetrySchemaError(
+                        f"field {name}[{i}] must be an object with exactly "
+                        f"'x', 'y' and 'epe', got {entry!r}")
+                _check_type(f"{name}[{i}]['x']", entry["x"], "number")
+                _check_type(f"{name}[{i}]['y']", entry["y"], "number")
+                _check_type(f"{name}[{i}]['epe']", entry["epe"],
+                            "maybe_number")
     else:
         raise TelemetrySchemaError(
             f"schema references unknown type {type_name!r}")
@@ -239,6 +262,48 @@ class RunLogger:
                    cpu_seconds=float(cpu_seconds),
                    num_threads=num_threads,
                    cpu_utilization=cpu_utilization)
+
+    def quality_sample(self, iteration: int, objective: float,
+                       l2: Optional[float] = None,
+                       clip: Optional[str] = None,
+                       method: Optional[str] = None,
+                       stage: Optional[str] = None,
+                       seconds: Optional[float] = None) -> None:
+        """Record one point of a convergence curve.
+
+        ``objective`` is the quantity the loop descends (relaxed litho
+        error for ILT, the phase's main loss for training); ``l2`` is
+        the discrete metric at evaluation points.
+        """
+        self.event("quality_sample", iteration=int(iteration),
+                   objective=objective, l2=l2, clip=clip, method=method,
+                   stage=stage, seconds=seconds)
+
+    def clip_result(self, clip: str, method: str,
+                    metrics: Dict[str, float],
+                    runtime_seconds: Optional[float] = None,
+                    stage_seconds: Optional[Dict[str, float]] = None,
+                    epe_hotspots: Optional[list] = None) -> None:
+        """Record one clip's final quality metrics for one method.
+
+        ``metrics`` is the :meth:`MaskEvaluation.as_dict` numeric subset
+        (L2/PVB/EPE plus window metrics when a corner stack ran);
+        ``epe_hotspots`` carries the violating control points
+        (``{x, y, epe}`` in nm) that feed the report's hotspot overlay.
+        """
+        self.event("clip_result", clip=clip, method=method,
+                   metrics=metrics, runtime_seconds=runtime_seconds,
+                   stage_seconds=stage_seconds or None,
+                   epe_hotspots=epe_hotspots or None)
+
+    def anomaly(self, kind: str, **fields) -> None:
+        """Record one anomaly (divergence, stall, straggler, ...).
+
+        Divergence-guard interventions and watchdog findings are
+        recorded through this one event type so a run's health problems
+        are queryable from its telemetry instead of scraped from logs.
+        """
+        self.event("anomaly", kind=kind, **fields)
 
     def iteration(self, iteration: int, losses: Dict[str, float],
                   seconds: float,

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.bench.record import (RECORD_SCHEMA_VERSION, BenchRecorder,
-                                load_record, measure)
+                                BenchRecordError, load_record, measure)
 
 
 class TestMeasure:
@@ -74,3 +74,57 @@ class TestBenchRecorder:
                    for name in record["entries"])
         assert any(name.startswith("flow_generation/")
                    for name in record["entries"])
+
+
+class TestProvenanceStamps:
+    """ISSUE 9 satellite: records carry git rev, UTC timestamp and the
+    litho config hash, so a BENCH_*.json is traceable to the commit
+    and optical model that produced it."""
+
+    def test_git_rev_and_utc_timestamp_stamped(self):
+        record = BenchRecorder("substrate").to_dict()
+        assert record["git_rev"]  # "unknown" outside a checkout
+        assert record["generated_utc"].endswith("Z")
+        assert "T" in record["generated_utc"]
+
+    def test_config_hash_included_when_given(self):
+        assert "config_hash" not in BenchRecorder("substrate").to_dict()
+        stamped = BenchRecorder("substrate", config_hash="cafe0001")
+        assert stamped.to_dict()["config_hash"] == "cafe0001"
+
+    def test_stamps_survive_write_and_load(self, tmp_path):
+        recorder = BenchRecorder("substrate", config_hash="cafe0001")
+        recorder.add("x", 1.0)
+        record = load_record(recorder.write(str(tmp_path / "B.json")))
+        assert record["config_hash"] == "cafe0001"
+        assert record["generated_utc"].endswith("Z")
+
+
+class TestLoadRecordErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchRecordError, match="not found"):
+            load_record(str(tmp_path / "absent.json"))
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(BenchRecordError, match="not valid JSON"):
+            load_record(str(path))
+
+    def test_schema_less_record(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"entries": {}}))
+        with pytest.raises(BenchRecordError, match="bench schema"):
+            load_record(str(path))
+
+    def test_record_without_entries(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"schema": RECORD_SCHEMA_VERSION}))
+        with pytest.raises(BenchRecordError, match="no 'entries'"):
+            load_record(str(path))
+
+    def test_non_object_record(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(BenchRecordError, match="bench schema"):
+            load_record(str(path))

@@ -1,0 +1,106 @@
+"""Lossless Table2Result JSON round-trip (ISSUE 9 satellite).
+
+The run ledger persists every Table 2 result as ``table2.json``; the
+HTML report rebuilds targets and masks from it without re-running
+lithography, so the round trip must be exact — bit-exact masks,
+clip geometry through the GLP text format, and every evaluation field
+including non-finite metrics and EPE hotspots.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (ExperimentConfig, Pipeline, iccad13_suite,
+                         run_table2, train_generators)
+from repro.bench.harness import (TABLE2_SCHEMA_VERSION, Table2Result,
+                                 _decode_mask, _encode_mask)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    pipeline = Pipeline.build(ExperimentConfig.quick())
+    generators = train_generators(pipeline)
+    clips = iccad13_suite(pipeline.litho)[:2]
+    return run_table2(pipeline, generators, clips=clips)
+
+
+class TestMaskCodec:
+    def test_binary_mask_packs_to_bits(self):
+        mask = (np.arange(64).reshape(8, 8) % 2).astype(float)
+        entry = _encode_mask(mask)
+        assert entry["encoding"] == "bits"
+        np.testing.assert_array_equal(_decode_mask(entry), mask)
+
+    def test_gray_mask_keeps_float64_exactly(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random((5, 7))
+        entry = _encode_mask(mask)
+        assert entry["encoding"] == "f64"
+        np.testing.assert_array_equal(_decode_mask(entry), mask)
+
+    def test_non_2d_mask_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            _encode_mask(np.zeros(4))
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ValueError, match="unknown mask encoding"):
+            _decode_mask({"encoding": "zip", "shape": [1, 1], "data": ""})
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def reloaded(self, table2):
+        # through an actual strict-JSON text round trip, like the file
+        payload = json.dumps(table2.to_dict(), sort_keys=True,
+                             allow_nan=False)
+        return Table2Result.from_dict(json.loads(payload))
+
+    def test_schema_stamped_and_checked(self, table2):
+        assert table2.to_dict()["schema"] == TABLE2_SCHEMA_VERSION
+        with pytest.raises(ValueError, match="unsupported table2 schema"):
+            Table2Result.from_dict({"schema": 999})
+
+    def test_evaluations_identical(self, table2, reloaded):
+        assert set(reloaded.columns) == set(table2.columns)
+        for method, evals in table2.columns.items():
+            for original, copy in zip(evals, reloaded.columns[method]):
+                assert copy.as_dict() == original.as_dict()
+                assert copy.epe_hotspots == original.epe_hotspots
+
+    def test_masks_bit_exact(self, table2, reloaded):
+        for method, masks in table2.masks.items():
+            for original, copy in zip(masks, reloaded.masks[method]):
+                np.testing.assert_array_equal(copy, original)
+
+    def test_clips_round_trip_through_glp(self, table2, reloaded):
+        from repro.geometry import rasterize
+        for original, copy in zip(table2.clips, reloaded.clips):
+            assert copy.name == original.name
+            assert copy.target_area == original.target_area
+            assert copy.layout.extent == original.layout.extent
+            # GLP text carries ~12 significant digits: coordinates agree
+            # to printed precision and the target raster — what the
+            # report rebuilds overlays from — is pixel-identical.
+            for rect_a, rect_b in zip(original.layout.rects,
+                                      copy.layout.rects):
+                for coord_a, coord_b in zip(
+                        (rect_a.x0, rect_a.y0, rect_a.x1, rect_a.y1),
+                        (rect_b.x0, rect_b.y0, rect_b.x1, rect_b.y1)):
+                    assert coord_b == pytest.approx(coord_a, rel=1e-11,
+                                                    abs=1e-8)
+            np.testing.assert_allclose(
+                rasterize(copy.layout, 64),
+                rasterize(original.layout, 64), atol=1e-9)
+
+    def test_table_stages_and_engine_stats_preserved(self, table2,
+                                                     reloaded):
+        assert reloaded.table == table2.table
+        assert reloaded.stage_seconds == table2.stage_seconds
+        assert reloaded.engine_stats == table2.engine_stats
+        assert reloaded.pool_stats is None
+
+    def test_averages_survive_round_trip(self, table2, reloaded):
+        for method in table2.columns:
+            assert reloaded.averages(method) == table2.averages(method)

@@ -13,6 +13,14 @@ from repro.litho import (KernelSet, LithoConfig, LithoSimulator,
                          build_kernels)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Keep run-ledger records out of the working tree: commands that
+    record runs (ilt/train/flow/table2) default to ``.repro_runs/`` in
+    the cwd unless ``REPRO_RUNS_DIR`` points elsewhere."""
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / ".repro_runs"))
+
+
 @pytest.fixture(scope="session")
 def litho32() -> LithoConfig:
     return LithoConfig.small(32)

@@ -86,3 +86,55 @@ class TestMeasureEPE:
         strict = measure_epe(grown.astype(float), layout, threshold=8.0)
         loose = measure_epe(grown.astype(float), layout, threshold=40.0)
         assert strict.violations > loose.violations
+
+
+class TestHotspots:
+    """Hotspot extraction feeds clip_result telemetry and the HTML
+    report's overlay (ISSUE 9)."""
+
+    def _report(self):
+        samples = [EPESample(0, 0, (1, 0), 5.0),      # sub-threshold
+                   EPESample(1, 0, (1, 0), -15.0),
+                   EPESample(2, 0, (1, 0), 25.0),
+                   EPESample(3, 0, (1, 0), float("inf")),
+                   EPESample(4, 0, (1, 0), -10.0)]    # exactly at: no
+        return EPEReport(samples=samples, threshold=10.0)
+
+    def test_only_violating_samples_extracted(self):
+        hotspots = self._report().hotspots()
+        assert len(hotspots) == 3
+        assert {spot["x"] for spot in hotspots} == {1.0, 2.0, 3.0}
+
+    def test_sorted_worst_first_nonfinite_ahead(self):
+        hotspots = self._report().hotspots()
+        assert not np.isfinite(hotspots[0]["epe"])
+        assert [spot["epe"] for spot in hotspots[1:]] == [25.0, -15.0]
+
+    def test_limit_keeps_worst_sites(self):
+        hotspots = self._report().hotspots(limit=2)
+        assert len(hotspots) == 2
+        assert hotspots[1]["epe"] == 25.0
+
+    def test_dict_payload_shape(self):
+        for spot in self._report().hotspots():
+            assert set(spot) == {"x", "y", "epe"}
+            assert isinstance(spot["x"], float)
+            assert isinstance(spot["epe"], float)
+
+    def test_no_violations_is_empty(self):
+        report = EPEReport(samples=[EPESample(0, 0, (1, 0), 1.0)],
+                           threshold=10.0)
+        assert report.hotspots() == []
+
+    def test_clip_boundary_segments_measured(self):
+        # A wire touching the clip boundary: hotspots from a pulled-back
+        # print carry real edge coordinates inside the window.
+        layout = Layout(extent=512.0, rects=[Rect(0, 208, 512, 288)])
+        shrunk = Layout(extent=512.0, rects=[Rect(0, 208, 472, 288)])
+        wafer = rasterize(shrunk, 64, antialias=False)
+        report = measure_epe(wafer, layout, threshold=10.0)
+        hotspots = report.hotspots()
+        assert hotspots
+        for spot in hotspots:
+            assert 0.0 <= spot["x"] <= 512.0
+            assert 0.0 <= spot["y"] <= 512.0

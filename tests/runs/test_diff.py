@@ -1,0 +1,109 @@
+"""Run-to-run diff tests: config, quality and engine-counter deltas."""
+
+from repro.runs import RunManifest, RunQuality, diff_runs, format_run_diff
+
+
+def _manifest(run_id, **overrides):
+    manifest = RunManifest(
+        run_id=run_id, command="table2", git_rev="abc1234",
+        config_hash="cafe0001", seed=5, precision="f64", workers=1,
+        params={"scale": "quick"}, packages={"numpy": "1.26"},
+        summary={"litho": {"forward_calls": 100, "forward_seconds": 2.0}})
+    for key, value in overrides.items():
+        setattr(manifest, key, value)
+    return manifest
+
+
+def _quality(l2_01=100.0, l2_02=200.0):
+    quality = RunQuality()
+    quality.clip_results["ILT"] = {
+        "iccad13-01": {"l2_nm2": l2_01, "pvband_nm2": 50.0},
+        "iccad13-02": {"l2_nm2": l2_02, "pvband_nm2": 60.0},
+    }
+    return quality
+
+
+class TestDiffRuns:
+    def test_identical_runs_have_no_deltas(self):
+        diff = diff_runs(_manifest("a"), _quality(),
+                         _manifest("b"), _quality())
+        assert diff.config == []
+        assert diff.aggregates["ILT"]["l2_nm2"] == (150.0, 150.0)
+        assert diff.engine["forward_calls"] == (100.0, 100.0)
+
+    def test_config_deltas_listed(self):
+        b = _manifest("b", seed=9, config_hash="cafe0002",
+                      params={"scale": "paper"})
+        diff = diff_runs(_manifest("a"), _quality(), b, _quality())
+        changed = {key: (va, vb) for key, va, vb in diff.config}
+        assert changed["seed"] == (5, 9)
+        assert changed["config_hash"] == ("cafe0001", "cafe0002")
+        assert changed["params.scale"] == ("quick", "paper")
+        assert "precision" not in changed
+
+    def test_per_clip_and_aggregate_deltas(self):
+        diff = diff_runs(_manifest("a"), _quality(),
+                         _manifest("b"), _quality(l2_01=110.0))
+        assert diff.clips["ILT"]["iccad13-01"]["l2_nm2"] == (100.0, 110.0)
+        assert diff.clips["ILT"]["iccad13-02"]["l2_nm2"] == (200.0, 200.0)
+        assert diff.aggregates["ILT"]["l2_nm2"] == (150.0, 155.0)
+
+    def test_only_shared_clips_and_methods_compared(self):
+        quality_b = _quality()
+        quality_b.clip_results["ILT"].pop("iccad13-02")
+        quality_b.clip_results["GAN-OPC"] = {"iccad13-01": {"l2_nm2": 1.0}}
+        diff = diff_runs(_manifest("a"), _quality(),
+                         _manifest("b"), quality_b)
+        assert set(diff.clips["ILT"]) == {"iccad13-01"}
+        assert "GAN-OPC" not in diff.aggregates
+
+    def test_engine_counters_from_summaries(self):
+        b = _manifest("b")
+        b.summary = {"litho": {"forward_calls": 120,
+                               "forward_seconds": 2.4,
+                               "note": "ignored-non-numeric"}}
+        diff = diff_runs(_manifest("a"), _quality(), b, _quality())
+        assert diff.engine == {"forward_calls": (100.0, 120.0),
+                               "forward_seconds": (2.0, 2.4)}
+
+    def test_no_quality_flag(self):
+        diff = diff_runs(_manifest("a"), RunQuality(),
+                         _manifest("b"), RunQuality())
+        assert not diff.has_quality
+
+
+class TestFormatRunDiff:
+    def test_sections_render(self):
+        diff = diff_runs(_manifest("run-a"), _quality(),
+                         _manifest("run-b", seed=9),
+                         _quality(l2_01=110.0))
+        text = format_run_diff(diff)
+        assert "runs diff: A=run-a  B=run-b" in text
+        assert "config deltas:" in text
+        assert "seed" in text
+        assert "aggregate quality" in text
+        assert "per-clip deltas (l2_nm2):" in text
+        assert "ILT/iccad13-01" in text
+        assert "litho engine counters:" in text
+        # signed delta and ratio for the regressed clip
+        assert "+10.0" in text
+        assert "1.100x" in text
+
+    def test_identical_config_message(self):
+        diff = diff_runs(_manifest("a"), _quality(),
+                         _manifest("b"), _quality())
+        assert "(identical configuration)" in format_run_diff(diff)
+
+    def test_metric_filter_and_no_clips(self):
+        diff = diff_runs(_manifest("a"), _quality(),
+                         _manifest("b"), _quality())
+        text = format_run_diff(diff, metrics=["pvband_nm2"],
+                               show_clips=False)
+        assert "pvband_nm2" in text
+        assert "  l2_nm2" not in text
+        assert "per-clip deltas" not in text
+
+    def test_missing_quality_message(self):
+        diff = diff_runs(_manifest("a"), RunQuality(),
+                         _manifest("b"), RunQuality())
+        assert "no overlapping clip_result" in format_run_diff(diff)

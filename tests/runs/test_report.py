@@ -1,0 +1,179 @@
+"""HTML report tests: stdlib PNG encoding, SVG charts, full renders."""
+
+import json
+import os
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import Table2Result
+from repro.bench.iccad13 import BenchmarkClip
+from repro.geometry.layout import Layout
+from repro.geometry.shapes import Rect
+from repro.metrics.report import MaskEvaluation
+from repro.runs import RunStore, render_report, write_report
+from repro.runs.report import (hotspot_overlay, png_bytes, png_data_uri,
+                               svg_bars, svg_curves)
+
+
+class TestPngBytes:
+    def test_signature_and_dimensions(self):
+        rgb = np.zeros((5, 7, 3), dtype=np.uint8)
+        data = png_bytes(rgb)
+        assert data.startswith(b"\x89PNG\r\n\x1a\n")
+        width, height = struct.unpack(">II", data[16:24])
+        assert (width, height) == (7, 5)
+        assert data.endswith(struct.pack(">I", zlib.crc32(b"IEND")))
+
+    def test_pixels_round_trip_through_idat(self):
+        rgb = np.arange(2 * 3 * 3, dtype=np.uint8).reshape(2, 3, 3)
+        data = png_bytes(rgb)
+        idat_start = data.index(b"IDAT") + 4
+        (idat_len,) = struct.unpack(">I", data[idat_start - 8:
+                                              idat_start - 4])
+        raw = zlib.decompress(data[idat_start:idat_start + idat_len])
+        rows = [raw[row * 10:(row + 1) * 10] for row in range(2)]
+        assert all(r[0] == 0 for r in rows)  # filter byte 0 per row
+        decoded = np.frombuffer(
+            b"".join(r[1:] for r in rows), dtype=np.uint8).reshape(2, 3, 3)
+        np.testing.assert_array_equal(decoded, rgb)
+
+    def test_rejects_non_rgb_shapes(self):
+        with pytest.raises(ValueError, match="expected"):
+            png_bytes(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_data_uri_prefix(self):
+        uri = png_data_uri(np.zeros((2, 2, 3), dtype=np.uint8))
+        assert uri.startswith("data:image/png;base64,")
+
+
+class TestSvgCharts:
+    def test_curves_render_polylines_per_series(self):
+        svg = svg_curves({"a": [(0, 1.0), (1, 0.5)],
+                          "b": [(0, 2.0), (1, 1.0)]}, title="conv")
+        assert svg.count("<polyline") == 2
+        assert "conv" in svg
+
+    def test_curves_drop_nonfinite_points(self):
+        svg = svg_curves({"a": [(0, float("nan")), (1, 1.0), (2, 2.0)]})
+        assert svg.count("<polyline") == 1
+
+    def test_curves_empty_series_is_note(self):
+        assert "no convergence samples" in svg_curves({})
+        assert "no convergence samples" in \
+            svg_curves({"a": [(0, float("inf"))]})
+
+    def test_bars_one_rect_per_value(self):
+        svg = svg_bars(["c1", "c2"], {"ILT": [1.0, 2.0],
+                                      "GAN-OPC": [3.0, None]})
+        assert svg.count("<rect") == 3
+        assert "c1" in svg and "GAN-OPC" in svg
+
+    def test_bars_without_data_is_note(self):
+        assert "no data" in svg_bars([], {})
+        assert "no data" in svg_bars(["c1"], {"ILT": [None]})
+
+
+class TestHotspotOverlay:
+    def test_markers_painted_red_at_site(self):
+        target = np.zeros((8, 8))
+        target[2:6, 2:6] = 1.0
+        rgb = hotspot_overlay(target, extent=80.0,
+                              hotspots=[{"x": 45.0, "y": 25.0,
+                                         "epe": 12.0}],
+                              marker_px=0)
+        assert tuple(rgb[2, 4]) == (220, 38, 38)
+        assert tuple(rgb[4, 4]) == (160, 160, 160)  # untouched pattern
+        assert tuple(rgb[0, 0]) == (0, 0, 0)
+
+    def test_out_of_range_sites_clamped(self):
+        rgb = hotspot_overlay(np.zeros((4, 4)), extent=40.0,
+                              hotspots=[{"x": 39.0, "y": 39.0,
+                                         "epe": 11.0}], marker_px=2)
+        assert tuple(rgb[3, 3]) == (220, 38, 38)
+
+
+def _recorded_run(tmp_path, with_table2=False):
+    store = RunStore(str(tmp_path / "store"))
+    run = store.create("table2", argv=["--scale", "quick"], seed=1)
+    run.log_manifest_record()
+    for step in range(4):
+        run.logger.quality_sample(step, 8.0 - step, clip="c1",
+                                  method="ILT", stage="refinement")
+    hotspots = [{"x": 30.0, "y": 30.0, "epe": 14.0}]
+    run.logger.clip_result("c1", "ILT",
+                           {"l2_nm2": 120.0, "pvband_nm2": 40.0,
+                            "epe_violations": 1.0},
+                           runtime_seconds=0.8, epe_hotspots=hotspots)
+    run.logger.anomaly("worker_stall", pid=77, gap_seconds=4.0)
+    if with_table2:
+        layout = Layout(extent=64.0, rects=[Rect(16, 16, 48, 48)],
+                        name="c1")
+        evaluation = MaskEvaluation(name="c1", l2_px=1.0, l2_nm2=120.0,
+                                    pvband_nm2=40.0, epe_violations=1,
+                                    epe_hotspots=hotspots)
+        result = Table2Result(
+            columns={"ILT": [evaluation]},
+            masks={"ILT": [np.ones((16, 16))]},
+            clips=[BenchmarkClip(name="c1", layout=layout,
+                                 target_area=1024.0)])
+        run.save_table2(result)
+    run.finish(summary={"litho": {"forward_calls": 10}})
+    return run
+
+
+class TestRenderReport:
+    def test_report_without_table2_degrades_gracefully(self, tmp_path):
+        run = _recorded_run(tmp_path)
+        html = render_report(run)
+        assert html.startswith("<!DOCTYPE html>")
+        assert run.manifest.run_id in html
+        assert "<polyline" in html
+        assert "no persisted table2.json" in html
+        assert "worker_stall" in html
+        assert "forward_calls" in html
+
+    def test_report_with_table2_embeds_overlay_pngs(self, tmp_path):
+        run = _recorded_run(tmp_path, with_table2=True)
+        html = render_report(run)
+        assert "data:image/png;base64," in html
+        assert "1 violating site" in html
+
+    def test_report_is_self_contained(self, tmp_path):
+        run = _recorded_run(tmp_path, with_table2=True)
+        html = render_report(run)
+        for external in ("http://", "https://", "src=\"/", "href="):
+            assert external not in html
+
+    def test_baseline_deltas_noted(self, tmp_path):
+        baseline = _recorded_run(tmp_path / "a", with_table2=True)
+        run = _recorded_run(tmp_path / "b", with_table2=True)
+        html = render_report(run, baseline=baseline)
+        assert baseline.manifest.run_id in html
+        assert "vs the baseline" in html
+        assert "(+0.0)" in html  # identical runs: zero aggregate delta
+
+    def test_write_report_creates_file(self, tmp_path):
+        run = _recorded_run(tmp_path)
+        path = write_report(run, str(tmp_path / "out" / "report.html"))
+        assert os.path.isfile(path)
+        assert "<html" in open(path).read()
+
+    def test_corrupt_table2_artifact_tolerated(self, tmp_path):
+        run = _recorded_run(tmp_path, with_table2=True)
+        with open(run.artifact_path("table2"), "w") as fh:
+            fh.write("{broken")
+        html = render_report(run)
+        assert "no persisted table2.json" in html
+
+
+class TestTable2ArtifactRoundTrip:
+    def test_save_table2_then_reload(self, tmp_path):
+        run = _recorded_run(tmp_path, with_table2=True)
+        with open(run.artifact_path("table2")) as fh:
+            reloaded = Table2Result.from_dict(json.load(fh))
+        assert reloaded.clips[0].name == "c1"
+        np.testing.assert_array_equal(reloaded.masks["ILT"][0],
+                                      np.ones((16, 16)))

@@ -1,0 +1,221 @@
+"""Schema round-trips for the ISSUE 9 run-ledger record types.
+
+``run_manifest`` / ``quality_sample`` / ``clip_result`` / ``anomaly``
+are additive extensions of the telemetry schema: the new events must
+validate and round-trip through :class:`RunLogger`, and every record
+shape the substrate emitted *before* this schema revision must still
+validate unchanged (consumers fold old and new streams alike).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import (RunLogger, TelemetrySchemaError, validate_record)
+from repro.runtime.telemetry import SCHEMA_VERSION
+
+
+def _read_records(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def _base(event, **fields):
+    record = {"schema": SCHEMA_VERSION, "event": event, "phase": "test",
+              "ts": 1.0}
+    record.update(fields)
+    return record
+
+
+class TestRunManifestRecord:
+    def _record(self, **extra):
+        return _base("run_manifest", run_id="20260808T000000-ilt-cafe0001",
+                     command="ilt", **extra)
+
+    def test_minimal_and_full_records_pass(self):
+        validate_record(self._record())
+        validate_record(self._record(
+            argv=["clip.glp", "--iterations", "5"], git_rev="abc1234",
+            config_hash="cafe", seed=7, precision="f64", workers=2,
+            grid=64, conditions="nominal",
+            packages={"numpy": "1.26.0"}, runs_dir="/tmp/.repro_runs"))
+
+    @pytest.mark.parametrize("mutate", [
+        lambda r: r.pop("run_id"),
+        lambda r: r.pop("command"),
+        lambda r: r.update(argv="not-a-list"),
+        lambda r: r.update(argv=[1, 2]),
+        lambda r: r.update(packages={"numpy": 1.26}),
+        lambda r: r.update(seed=1.5),
+        lambda r: r.update(stray=1),
+    ])
+    def test_invalid_record_rejected(self, mutate):
+        record = self._record()
+        mutate(record)
+        with pytest.raises(TelemetrySchemaError):
+            validate_record(record)
+
+
+class TestQualitySampleRecord:
+    def _record(self, **extra):
+        record = _base("quality_sample", iteration=3, objective=1.25)
+        record.update(extra)
+        return record
+
+    def test_minimal_and_full_records_pass(self):
+        validate_record(self._record())
+        validate_record(self._record(l2=2.5, clip="iccad13-01",
+                                     method="ILT", stage="refinement",
+                                     seconds=0.01))
+
+    def test_nonfinite_objective_string_encoding_passes(self):
+        validate_record(self._record(objective="nan", l2="inf"))
+
+    @pytest.mark.parametrize("mutate", [
+        lambda r: r.pop("iteration"),
+        lambda r: r.pop("objective"),
+        lambda r: r.update(iteration=1.5),
+        lambda r: r.update(objective="huge"),
+        lambda r: r.update(clip=13),
+        lambda r: r.update(stray=1),
+    ])
+    def test_invalid_record_rejected(self, mutate):
+        record = self._record()
+        mutate(record)
+        with pytest.raises(TelemetrySchemaError):
+            validate_record(record)
+
+    def test_logger_helper_round_trips(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with RunLogger(path, "ilt") as logger:
+            logger.quality_sample(np.int64(3), np.float64(1.25),
+                                  l2=float("nan"), clip="iccad13-01",
+                                  method="ILT", stage="refinement")
+        (record,) = _read_records(path)
+        validate_record(record)
+        assert record["iteration"] == 3
+        assert record["l2"] == "nan"
+
+
+class TestClipResultRecord:
+    def _record(self, **extra):
+        return _base("clip_result", clip="iccad13-01", method="PGAN-OPC",
+                     metrics={"l2_nm2": 100.0, "epe_violations": 1.0},
+                     **extra)
+
+    def test_minimal_and_full_records_pass(self):
+        validate_record(self._record())
+        validate_record(self._record(
+            runtime_seconds=1.5,
+            stage_seconds={"generation": 0.5, "refinement": 1.0},
+            epe_hotspots=[{"x": 10.0, "y": 20.0, "epe": 12.5},
+                          {"x": 1.0, "y": 2.0, "epe": "inf"}]))
+
+    @pytest.mark.parametrize("mutate", [
+        lambda r: r.pop("clip"),
+        lambda r: r.pop("method"),
+        lambda r: r.pop("metrics"),
+        lambda r: r.update(metrics={"l2_nm2": "big"}),
+        lambda r: r.update(epe_hotspots=[{"x": 1.0, "y": 2.0}]),
+        lambda r: r.update(epe_hotspots=[{"x": 1.0, "y": 2.0,
+                                          "epe": 3.0, "z": 4.0}]),
+        lambda r: r.update(stray=1),
+    ])
+    def test_invalid_record_rejected(self, mutate):
+        record = self._record()
+        mutate(record)
+        with pytest.raises(TelemetrySchemaError):
+            validate_record(record)
+
+    def test_logger_helper_round_trips(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with RunLogger(path, "table2") as logger:
+            logger.clip_result(
+                "iccad13-01", "ILT",
+                {"l2_nm2": np.float64(100.0),
+                 "pvband_nm2": float("inf")},
+                runtime_seconds=1.5,
+                epe_hotspots=[{"x": np.float64(10.0), "y": 20.0,
+                               "epe": 12.5}])
+        (record,) = _read_records(path)
+        validate_record(record)
+        assert record["metrics"]["pvband_nm2"] == "inf"
+        assert record["epe_hotspots"][0]["x"] == 10.0
+        assert "stage_seconds" not in record  # empty optional dropped
+
+
+class TestAnomalyRecord:
+    def _record(self, **extra):
+        record = _base("anomaly", kind="divergence")
+        record.update(extra)
+        return record
+
+    def test_known_anomaly_shapes_pass(self):
+        validate_record(self._record(iteration=7, action="rollback",
+                                     values={"loss": 12.0},
+                                     recoveries=2,
+                                     learning_rates={"g": 1e-4}))
+        validate_record(self._record(kind="worker_stall", pid=1234,
+                                     task_seq=9, gap_seconds=5.5))
+        validate_record(self._record(kind="straggler", pid=1234,
+                                     seconds=9.0, median_seconds=3.0))
+
+    @pytest.mark.parametrize("mutate", [
+        lambda r: r.pop("kind"),
+        lambda r: r.update(kind=7),
+        lambda r: r.update(pid=1.5),
+        lambda r: r.update(values={"loss": "big"}),
+        lambda r: r.update(stray=1),
+    ])
+    def test_invalid_record_rejected(self, mutate):
+        record = self._record()
+        mutate(record)
+        with pytest.raises(TelemetrySchemaError):
+            validate_record(record)
+
+    def test_logger_helper_round_trips(self, tmp_path):
+        path = str(tmp_path / "q.jsonl")
+        with RunLogger(path, "flow") as logger:
+            logger.anomaly("worker_stall", pid=np.int64(1234),
+                           task_seq=9, gap_seconds=np.float64(5.5))
+        (record,) = _read_records(path)
+        validate_record(record)
+        assert record["kind"] == "worker_stall"
+        assert type(record["pid"]) is int
+
+
+class TestBackwardCompatibility:
+    """Records the substrate emitted before this schema revision must
+    still validate — old telemetry files stay readable."""
+
+    @pytest.mark.parametrize("record", [
+        _base("iteration", iteration=0, losses={"total": 1.0},
+              seconds=0.1),
+        _base("iteration", iteration=3, losses={"total": 1.0},
+              seconds=0.1, grad_norms={"g": 0.5}, action="checkpoint",
+              litho={"forward_calls": 4.0}),
+        _base("span_summary",
+              spans={"litho.forward": {"count": 4, "seconds": 0.2}},
+              wall_seconds=1.0, coverage=0.9, trace_file="t.json"),
+        _base("worker_span_summary", pid=42,
+              spans={"litho.forward": {"count": 4, "seconds": 0.2}},
+              tasks=4, busy_seconds=0.3),
+        _base("resource_sample", pid=42, rss_bytes=1048576.0,
+              cpu_seconds=0.5, num_threads=2),
+    ])
+    def test_pre_ledger_records_still_validate(self, record):
+        validate_record(record)
+
+    def test_pre_ledger_jsonl_stream_still_validates(self, tmp_path):
+        # The exact line shape older RunLogger versions wrote.
+        path = tmp_path / "old.jsonl"
+        lines = [
+            json.dumps(_base("iteration", iteration=i,
+                             losses={"total": 1.0 / (i + 1)},
+                             seconds=0.1))
+            for i in range(3)
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        for line in path.read_text().splitlines():
+            validate_record(json.loads(line))

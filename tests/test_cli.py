@@ -440,3 +440,88 @@ class TestMonitor:
                      "--out", str(tmp_path / "mask.pgm")]) == 0
         stdout = capsys.readouterr().out
         assert "serving metrics at http://" in stdout
+
+
+class TestRunsLedger:
+    """Run recording + runs list/show/diff + report (ISSUE 9)."""
+
+    def _record_run(self, clip_file, tmp_path, iterations="10"):
+        store = str(tmp_path / "store")
+        out = str(tmp_path / f"mask-{iterations}.pgm")
+        assert main(["ilt", clip_file, "--grid", "64",
+                     "--iterations", iterations, "--out", out,
+                     "--runs-dir", store]) == 0
+        return store
+
+    def test_ilt_records_manifest_and_quality(self, clip_file, tmp_path,
+                                              capsys):
+        import json
+
+        from repro.runs import RunStore
+        from repro.runtime import validate_record
+
+        store = self._record_run(clip_file, tmp_path)
+        assert "run recorded: " in capsys.readouterr().out
+        run_store = RunStore(store)
+        (run_id,) = run_store.run_ids()
+        run = run_store.load(run_id)
+        assert run.manifest.command == "ilt"
+        assert run.manifest.status == "complete"
+        assert run.manifest.config_hash
+        assert "litho" in run.manifest.summary
+        assert os.path.isfile(run.artifact_path("mask"))
+        assert os.path.isfile(run.artifact_path("clip"))
+        records = [json.loads(line)
+                   for line in open(run.quality_log_path, encoding="utf-8")
+                   if line.strip()]
+        for record in records:
+            validate_record(record)
+        events = {record["event"] for record in records}
+        assert {"run_manifest", "quality_sample", "clip_result"} <= events
+
+    def test_no_run_record_leaves_store_empty(self, clip_file, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["ilt", clip_file, "--grid", "64",
+                     "--iterations", "5",
+                     "--out", str(tmp_path / "m.pgm"),
+                     "--runs-dir", store, "--no-run-record"]) == 0
+        assert not os.path.isdir(store)
+
+    def test_runs_list_show_and_diff(self, clip_file, tmp_path, capsys):
+        store = self._record_run(clip_file, tmp_path, iterations="5")
+        self._record_run(clip_file, tmp_path, iterations="10")
+        capsys.readouterr()
+
+        assert main(["runs", "list", "--runs-dir", store]) == 0
+        listing = capsys.readouterr().out
+        assert listing.count("-ilt-") >= 2
+
+        assert main(["runs", "show", "latest", "--runs-dir", store]) == 0
+        shown = capsys.readouterr().out
+        assert "params.iterations" in shown
+        assert "l2_nm2" in shown
+
+        from repro.runs import RunStore
+        first, second = RunStore(store).run_ids()
+        assert main(["runs", "diff", first, second,
+                     "--runs-dir", store]) == 0
+        diffed = capsys.readouterr().out
+        assert "config deltas:" in diffed
+        assert "params.iterations" in diffed
+        assert "aggregate quality" in diffed
+
+    def test_runs_unknown_token_fails(self, tmp_path, capsys):
+        assert main(["runs", "show", "latest",
+                     "--runs-dir", str(tmp_path / "empty")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_writes_self_contained_html(self, clip_file, tmp_path,
+                                               capsys):
+        store = self._record_run(clip_file, tmp_path)
+        out = str(tmp_path / "report.html")
+        assert main(["report", "latest", "--runs-dir", store,
+                     "--out", out]) == 0
+        document = open(out, encoding="utf-8").read()
+        assert document.startswith("<!DOCTYPE html>")
+        assert "<polyline" in document
+        assert "http://" not in document and "https://" not in document
