@@ -8,6 +8,9 @@ CPU scale a user can push):
 * one ILT gradient step (Eq. 14),
 * the unified engine's forward and adjoint throughput, batch 1 vs 8,
 * f32 vs f64 engine throughput (the precision fast path),
+* the backend seam (explicit numpy backend vs the default inline path)
+  and the autotuner's chosen engine tuning,
+* f64 vs f32 ILT-guided pretrain steps (end-to-end f32 training),
 * serial vs multiprocess per-clip ILT (the ``repro.parallel`` layer),
 * one generator forward pass,
 * one full Algorithm 1 training iteration.
@@ -16,8 +19,9 @@ The engine benchmarks also pin the perf-work acceptance bars: a single
 batched :class:`LithoEngine` gradient call must be at least twice as
 fast as looping the pre-refactor single-image implementation over the
 same batch (64 px, batch 8); the f32 engine forward must be at least
-1.3x the f64 forward; and on machines with >= 4 cores, parallel
-per-clip ILT must be at least 2x the serial loop.
+1.3x the f64 forward; a full f32 pretrain step must be at least 1.5x
+the f64 step (64 px, batch 8); and on machines with >= 4 cores,
+parallel per-clip ILT must be at least 2x the serial loop.
 """
 
 from __future__ import annotations
@@ -185,6 +189,50 @@ def test_f32_forward_at_least_1p3x_f64():
     assert speedup >= 1.3
 
 
+def _pretrainer(kernels, precision, batch):
+    """A warm ILT-guided pretrainer + batch at the given precision."""
+    from dataclasses import replace
+
+    from repro import nn
+    from repro.core import ILTGuidedPretrainer
+    from repro.layoutgen import SyntheticDataset
+
+    grid = kernels.config.grid
+    litho = LithoConfig.small(grid)
+    config = replace(GanOpcConfig.small(grid), batch_size=batch)
+    engine = LithoEngine.for_kernels(kernels, precision=precision)
+    generator = MaskGenerator(config.generator_channels,
+                              rng=np.random.default_rng(0))
+    if precision == "f32":
+        nn.to_dtype(generator, np.float32)
+    dataset = SyntheticDataset(litho, size=batch, seed=0, kernels=kernels)
+    pretrainer = ILTGuidedPretrainer(generator, litho, config, engine=engine)
+    targets = dataset.targets_batch(list(range(batch)))
+    pretrainer.step(targets)  # warm caches, JIT nothing — numpy only
+    return pretrainer, targets
+
+
+def test_f32_pretrain_step_at_least_1p5x_f64():
+    """End-to-end f32 acceptance bar: a full ILT-guided pretrain step
+    (generator forward + litho gradient + backward + Adam) in f32 must
+    be at least 1.5x the f64 step (64 px, batch 8).  This is the
+    headline win of the dtype threading — it only holds if *no* stage
+    silently promotes back to double."""
+    from repro.bench.record import measure
+
+    grid, batch = 64, 8
+    kernels = build_kernels(LithoConfig.small(grid))
+    pre64, targets64 = _pretrainer(kernels, "f64", batch)
+    pre32, targets32 = _pretrainer(kernels, "f32", batch)
+
+    t64 = measure(lambda: pre64.step(targets64), repeats=5)
+    t32 = measure(lambda: pre32.step(targets32), repeats=5)
+    speedup = t64 / t32
+    print(f"\nf64 pretrain step {t64 * 1e3:.1f} ms vs f32 "
+          f"{t32 * 1e3:.1f} ms -> {speedup:.2f}x")
+    assert speedup >= 1.5
+
+
 def _corner_grid(config):
     """C=4 corner stack (2 defocus x 2 dose) and the per-defocus nominal
     engines a per-corner loop would have to use."""
@@ -304,6 +352,47 @@ def test_write_bench_substrate_record():
             f"engine_gradient_f32/grid{grid}/batch{batch}",
             lambda: engine32.error_and_gradient_wrt_mask(masks, targets),
             grid=grid, batch=batch)
+
+    # Backend seam: an engine built on the explicit numpy backend must
+    # cost the same as the default inline path (the seam is free), and
+    # a full ILT-guided pretrain step records the end-to-end f64 vs f32
+    # training throughput the 1.5x acceptance bar gates.
+    from repro.backend import resolve_backend
+    from repro.backend.autotune import autotune_engine, candidate_key
+
+    batch = 8
+    masks = _mask_batch(grid, batch)
+    targets = _target_batch(grid, batch)
+    seamed = LithoEngine.for_kernels(kernels, precision="f64",
+                                     backend=resolve_backend("numpy"))
+    recorder.timeit(
+        f"backend_numpy_gradient/grid{grid}/batch{batch}",
+        lambda: seamed.error_and_gradient_wrt_mask(masks, targets),
+        grid=grid, batch=batch, backend="numpy")
+    for precision in ("f64", "f32"):
+        pretrainer, pre_targets = _pretrainer(kernels, precision, batch)
+        recorder.timeit(
+            f"backend_pretrain_step/grid{grid}/batch{batch}/{precision}",
+            lambda: pretrainer.step(pre_targets),
+            grid=grid, batch=batch, backend="numpy", precision=precision,
+            repeats=3)
+
+    # Autotuner: measure the candidate grid on the live engine, adopt
+    # the winner, and record the tuned gradient throughput next to the
+    # untuned reference above.  The chosen candidate is stored in the
+    # entry metadata so regressions in the *choice* are visible, not
+    # just regressions in the timing.
+    result = autotune_engine(
+        LithoEngine.for_kernels(kernels, precision="f64"),
+        batch=batch, repeats=3)
+    tuned_engine = LithoEngine(kernels=kernels, precision="f64",
+                               tuning=result.tuning)
+    recorder.timeit(
+        f"autotune_gradient/grid{grid}/batch{batch}",
+        lambda: tuned_engine.error_and_gradient_wrt_mask(masks, targets),
+        grid=grid, batch=batch,
+        candidate=candidate_key(result.tuning),
+        gflops=result.gflops)
 
     # Condition-stack throughput: C=4 corners (2 defocus x 2 dose)
     # through one stacked forward/adjoint, plus the per-corner loop it
@@ -441,6 +530,11 @@ def test_write_bench_substrate_record():
     assert f"engine_forward/grid{grid}/batch8" in entries
     assert f"engine_gradient/grid{grid}/batch1" in entries
     assert f"engine_forward_f32/grid{grid}/batch8" in entries
+    assert f"backend_numpy_gradient/grid{grid}/batch8" in entries
+    assert f"backend_pretrain_step/grid{grid}/batch8/f64" in entries
+    assert f"backend_pretrain_step/grid{grid}/batch8/f32" in entries
+    assert f"autotune_gradient/grid{grid}/batch8" in entries
+    assert "candidate" in entries[f"autotune_gradient/grid{grid}/batch8"]
     assert f"engine_condition_forward/grid{grid}/batch8/corners4" in entries
     assert f"engine_condition_gradient/grid{grid}/batch1/corners4" in entries
     assert (f"engine_condition_loop_forward/grid{grid}/batch8/corners4"

@@ -48,13 +48,17 @@ class BenchRecorder:
         #: optional litho-config kernel hash; ties the record to the
         #: exact optical model the numbers were measured under.
         self.config_hash = config_hash
-        self.entries: Dict[str, Dict[str, float]] = {}
+        self.entries: Dict[str, Dict[str, object]] = {}
 
     def add(self, name: str, seconds: float,
             grid: Optional[int] = None, batch: Optional[int] = None,
-            **extra: float) -> Dict[str, float]:
-        """Record one entry; ``batch`` adds derived throughput."""
-        entry: Dict[str, float] = {"seconds": float(seconds)}
+            **extra) -> Dict[str, object]:
+        """Record one entry; ``batch`` adds derived throughput.
+
+        Extra metadata is numeric by default; strings pass through
+        unchanged (backend names, autotune candidate keys).
+        """
+        entry: Dict[str, object] = {"seconds": float(seconds)}
         if grid is not None:
             entry["grid"] = int(grid)
         if batch is not None:
@@ -62,13 +66,13 @@ class BenchRecorder:
             if seconds > 0:
                 entry["throughput_per_second"] = float(batch / seconds)
         for key, value in extra.items():
-            entry[key] = float(value)
+            entry[key] = value if isinstance(value, str) else float(value)
         self.entries[name] = entry
         return entry
 
     def timeit(self, name: str, fn: Callable[[], object],
                grid: Optional[int] = None, batch: Optional[int] = None,
-               repeats: int = 5, **extra: float) -> Dict[str, float]:
+               repeats: int = 5, **extra) -> Dict[str, object]:
         """Measure ``fn`` with :func:`measure` and record the result."""
         return self.add(name, measure(fn, repeats=repeats),
                         grid=grid, batch=batch, **extra)

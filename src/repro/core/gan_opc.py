@@ -124,14 +124,19 @@ class GanOpcTrainer:
         """
         step_started = time.perf_counter()
         with trace.span("gan.generator_step", batch=len(targets)):
-            target_t = nn.Tensor(targets)
-            reference_t = nn.Tensor(reference_masks)
+            # Feed both networks in the generator's compute dtype; f64
+            # targets/labels would otherwise promote every GEMM and the
+            # loss arithmetic back to double under --precision f32.
+            dtype = nn.compute_dtype(self.generator)
+            target_t = nn.Tensor(np.asarray(targets, dtype=dtype))
+            reference_t = nn.Tensor(np.asarray(reference_masks, dtype=dtype))
 
             self.optimizer_g.zero_grad()
             self.discriminator.zero_grad()
             fake = self.generator(target_t)
             d_fake = self.discriminator(target_t, fake)
-            adversarial = nn.bce_loss(d_fake, nn.ones(d_fake.shape))
+            adversarial = nn.bce_loss(
+                d_fake, nn.ones(d_fake.shape, dtype=d_fake.data.dtype))
             regression = nn.mse_loss(fake, reference_t, reduction="mean")
             loss = adversarial + self.config.alpha * regression
             loss_value = float(loss.data)
@@ -152,7 +157,9 @@ class GanOpcTrainer:
                             threshold=cfg.threshold,
                             resist_steepness=cfg.resist_steepness)
                 loss_value += weight * float(np.mean(litho_errors))
-                upstream = (weight / len(targets)) * litho_grads[:, None]
+                upstream = np.asarray(
+                    (weight / len(targets)) * litho_grads[:, None],
+                    dtype=dtype)
 
                 def backward(upstream=upstream):
                     loss.backward()
@@ -180,12 +187,15 @@ class GanOpcTrainer:
         """Update D on Eq. 8 (paper objective) or standard BCE."""
         step_started = time.perf_counter()
         with trace.span("gan.discriminator_step", batch=len(targets)):
-            target_t = nn.Tensor(targets)
+            dtype = nn.compute_dtype(self.discriminator)
+            target_t = nn.Tensor(np.asarray(targets, dtype=dtype))
 
             self.optimizer_d.zero_grad()
             self.generator.zero_grad()
-            d_fake = self.discriminator(target_t, nn.Tensor(fake_masks))
-            d_real = self.discriminator(target_t, nn.Tensor(reference_masks))
+            d_fake = self.discriminator(
+                target_t, nn.Tensor(np.asarray(fake_masks, dtype=dtype)))
+            d_real = self.discriminator(
+                target_t, nn.Tensor(np.asarray(reference_masks, dtype=dtype)))
 
             if self.config.discriminator_loss == "paper":
                 # Literal Algorithm 1 line 8, clamped for finiteness:
@@ -194,9 +204,13 @@ class GanOpcTrainer:
                         - d_real.clip(_EPS, 1.0).log().mean())
             else:
                 real_label = 1.0 - self.config.label_smoothing
-                loss = (nn.bce_loss(d_fake, nn.zeros(d_fake.shape))
-                        + nn.bce_loss(d_real,
-                                      nn.full(d_real.shape, real_label)))
+                loss = (nn.bce_loss(
+                            d_fake,
+                            nn.zeros(d_fake.shape, dtype=d_fake.data.dtype))
+                        + nn.bce_loss(
+                            d_real,
+                            nn.full(d_real.shape, real_label,
+                                    dtype=d_real.data.dtype)))
             loss_value = float(loss.data)
             if harness is None:
                 loss.backward()

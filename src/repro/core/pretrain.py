@@ -133,7 +133,10 @@ class ILTGuidedPretrainer:
         step_started = time.perf_counter()
         with trace.span("pretrain.step", batch=len(targets)):
             self.optimizer.zero_grad()
-            batch = nn.Tensor(targets)
+            # Feed the network in its own dtype: an f32 generator must
+            # not have its GEMMs promoted to f64 by a double batch.
+            dtype = nn.compute_dtype(self.generator)
+            batch = nn.Tensor(np.asarray(targets, dtype=dtype))
             with trace.span("pretrain.generator_forward"):
                 masks = self.generator(batch)
             with trace.span("pretrain.litho_gradient"):
@@ -142,9 +145,13 @@ class ILTGuidedPretrainer:
             error = float(errors.mean())
 
             # Line 8: accumulate dE/dM * dM/dW_g; mini-batch averaging
-            # happens here (Eq. 15's lambda/m).
+            # happens here (Eq. 15's lambda/m).  The litho gradient is
+            # cast to the network dtype so the backward pass stays in
+            # the generator's precision even with a mixed-precision
+            # engine (no-op when dtypes already match).
             def backward():
-                masks.backward(gradients / len(targets))
+                masks.backward(
+                    np.asarray(gradients, dtype=dtype) / len(targets))
 
             with trace.span("pretrain.update"):
                 if harness is None:
@@ -223,8 +230,11 @@ class GroundTruthPretrainer:
 
     def step(self, targets: np.ndarray, reference_masks: np.ndarray) -> float:
         self.optimizer.zero_grad()
-        masks = self.generator(nn.Tensor(targets))
-        loss = nn.mse_loss(masks, nn.Tensor(reference_masks), reduction="mean")
+        dtype = nn.compute_dtype(self.generator)
+        masks = self.generator(nn.Tensor(np.asarray(targets, dtype=dtype)))
+        loss = nn.mse_loss(masks,
+                           nn.Tensor(np.asarray(reference_masks, dtype=dtype)),
+                           reduction="mean")
         loss.backward()
         self.optimizer.step()
         return float(loss.data)

@@ -58,6 +58,8 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
+from repro.backend.autotune import EngineTuning, env_tuning
 from repro.obs import trace
 from repro.obs.registry import MetricsRegistry
 from repro.workspace import Workspace
@@ -270,6 +272,21 @@ class LithoEngine:
         ``litho_error``, ...) always evaluate the engine's own config
         regardless of ``conditions``.
 
+    backend:
+        :class:`~repro.backend.ArrayBackend` (or backend name) the
+        engine computes on; ``None`` consults ``REPRO_BACKEND`` and
+        defaults to the numpy reference backend, which is bit-identical
+        to the pre-seam inline numpy code.  Non-host backends (cupy)
+        accept host or device masks and return device arrays
+        (``engine.backend.to_numpy`` brings results back).
+    tuning:
+        Optional :class:`~repro.backend.autotune.EngineTuning`
+        overriding the chunk/block heuristics; ``None`` consults the
+        ``REPRO_AUTOTUNE`` preset file (unset keeps the built-in
+        heuristics).  ``passband_block=1`` (the default) preserves the
+        historic per-kernel loop bit-exactly; larger blocks stack
+        kernels into batched GEMMs (~1e-12 parity, tuned per hardware).
+
     All mask-consuming methods accept either a single ``(H, W)`` array
     or a batch ``(N, H, W)`` and return results of matching rank; error
     terms come back as a ``float`` for single masks and an ``(N,)``
@@ -281,7 +298,9 @@ class LithoEngine:
     def __init__(self, config: Optional[LithoConfig] = None,
                  kernels: Optional[KernelSet] = None,
                  precision: Optional[str] = None,
-                 conditions: Optional[ConditionSet] = None):
+                 conditions: Optional[ConditionSet] = None,
+                 backend: Optional[Union[str, ArrayBackend]] = None,
+                 tuning: Optional[EngineTuning] = None):
         if kernels is None:
             config = config or LithoConfig.paper()
             kernels = build_kernels(config)
@@ -292,6 +311,11 @@ class LithoEngine:
         self.precision = resolve_precision(precision)
         rdtype, cdtype = PRECISION_DTYPES[self.precision]
         self._rdtype, self._cdtype = rdtype, cdtype
+        self.backend = resolve_backend(backend)
+        # The backend's array module: allocations and explicit array
+        # constructors route through it; elementwise math on
+        # backend-native arrays dispatches via NEP-18 unchanged.
+        self._xp = self.backend.xp
 
         freq = kernels.freq_kernels
         adjoint = kernels.flipped()
@@ -331,10 +355,26 @@ class LithoEngine:
         self._grad_row = _dft_factor(x, arows, +1, 1.0 / grid, grid, cdtype)
         self._grad_col = _dft_factor(acols, x, +1, 1.0 / grid, grid, cdtype)
 
+        # Kernel/DFT constants live on the backend device (identity —
+        # same objects — for the numpy reference backend).
+        for attr in ("_freq_cc", "_adj_cc", "_weights", "_spec_row",
+                     "_spec_col", "_ifft_row", "_ifft_col", "_fft_row",
+                     "_fft_col", "_grad_row", "_grad_col"):
+            setattr(self, attr, self.backend.asarray(getattr(self, attr)))
+
         # Batched-gradient chunk size: cap the per-chunk field tensor
-        # at ~8 MB so it stays cache-resident (see _forward).
+        # at ~8 MB so it stays cache-resident (see _forward) — unless a
+        # tuning (explicit or from the REPRO_AUTOTUNE preset file)
+        # overrides it for this hardware.
+        if tuning is None:
+            tuning = env_tuning(self.backend.name, self.precision, grid)
+        self.tuning = tuning if tuning is not None else EngineTuning()
+        self._passband_block = max(1, int(self.tuning.passband_block))
         bytes_per_sample = len(self._weights) * grid * grid * cdtype.itemsize
-        self._gradient_chunk = max(1, (8 << 20) // bytes_per_sample)
+        heuristic_chunk = max(1, (8 << 20) // bytes_per_sample)
+        self._gradient_chunk = (int(self.tuning.batch_chunk)
+                                if self.tuning.batch_chunk
+                                else heuristic_chunk)
 
         if conditions is None:
             conditions = ConditionSet.nominal(
@@ -345,30 +385,36 @@ class LithoEngine:
         self.conditions = conditions
         self._condition_stack: Optional[_ConditionStack] = None
 
-        self.workspace = Workspace()
+        self.workspace = Workspace(backend=self.backend)
         self.metrics = MetricsRegistry()
         self.stats = EngineStats(self.metrics)
 
     # ------------------------------------------------------------------
     @classmethod
     def for_kernels(cls, kernels: KernelSet,
-                    precision: Optional[str] = None) -> "LithoEngine":
-        """Shared engine for a kernel set (memoized per precision on the
-        instance)."""
+                    precision: Optional[str] = None,
+                    backend: Optional[Union[str, ArrayBackend]] = None
+                    ) -> "LithoEngine":
+        """Shared engine for a kernel set (memoized per
+        (precision, backend) on the instance)."""
         precision = resolve_precision(precision)
+        be = resolve_backend(backend)
         engines = kernels.__dict__.get("_engines")
         if engines is None:
             engines = {}
             object.__setattr__(kernels, "_engines", engines)
-        engine = engines.get(precision)
+        key = (precision, be.name)
+        engine = engines.get(key)
         if engine is None:
-            engine = cls(kernels=kernels, precision=precision)
-            engines[precision] = engine
+            engine = cls(kernels=kernels, precision=precision, backend=be)
+            engines[key] = engine
         return engine
 
     @classmethod
     def for_conditions(cls, kernels: KernelSet, conditions: ConditionSet,
-                       precision: Optional[str] = None) -> "LithoEngine":
+                       precision: Optional[str] = None,
+                       backend: Optional[Union[str, ArrayBackend]] = None
+                       ) -> "LithoEngine":
         """Shared engine serving a condition stack (memoized per
         (conditions, precision) on the nominal kernel set).
 
@@ -377,22 +423,31 @@ class LithoEngine:
         bit-exact with the current nominal engine by construction.
         """
         if conditions.is_single_nominal(kernels.config.optics.defocus):
-            return cls.for_kernels(kernels, precision)
+            return cls.for_kernels(kernels, precision, backend)
         precision = resolve_precision(precision)
+        be = resolve_backend(backend)
         engines = kernels.__dict__.get("_condition_engines")
         if engines is None:
             engines = {}
             object.__setattr__(kernels, "_condition_engines", engines)
-        engine = engines.get((conditions, precision))
+        key = (conditions, precision, be.name)
+        engine = engines.get(key)
         if engine is None:
             engine = cls(kernels=kernels, precision=precision,
-                         conditions=conditions)
-            engines[(conditions, precision)] = engine
+                         conditions=conditions, backend=be)
+            engines[key] = engine
         return engine
 
     @property
     def grid(self) -> int:
         return self.kernels.grid
+
+    @property
+    def passband_shape(self) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """``((rows, cols), (adjoint_rows, adjoint_cols))`` passband
+        support sizes — the shapes the autotuner's FLOP model scores."""
+        return ((len(self._rows), len(self._cols)),
+                tuple(self._adj_cc.shape[1:]))
 
     @property
     def threshold(self) -> float:
@@ -401,7 +456,7 @@ class LithoEngine:
     # ------------------------------------------------------------------
     def _as_batch(self, masks: np.ndarray) -> Tuple[np.ndarray, bool]:
         """Promote a mask or mask stack to ``(N, grid, grid)``."""
-        masks = np.asarray(masks)
+        masks = self.backend.asarray(masks)
         if masks.dtype != self._rdtype:
             masks = masks.astype(self._rdtype)
         single = masks.ndim == 2
@@ -417,7 +472,7 @@ class LithoEngine:
         return masks, single
 
     def _as_targets(self, targets: np.ndarray) -> np.ndarray:
-        targets = np.asarray(targets)
+        targets = self.backend.asarray(targets)
         if targets.dtype != self._rdtype:
             targets = targets.astype(self._rdtype)
         if targets.shape[-2:] != (self.grid,) * 2:
@@ -437,17 +492,17 @@ class LithoEngine:
         n, grid = batch.shape[0], self.grid
         n_rows, n_cols = len(self._rows), len(self._cols)
         if spectrum is not None:
-            return np.ascontiguousarray(
+            return self.backend.ascontiguousarray(
                 spectrum[:, self._rows[:, None], self._cols[None, :]],
                 dtype=self._cdtype)
         with trace.span("litho.spectrum", masks=n):
             complex_batch = ws.get("spec.batch", (n, grid, grid),
                                    self._cdtype)
             complex_batch[...] = batch
-            partial = np.matmul(
+            partial = self.backend.matmul(
                 self._spec_row, complex_batch,
                 out=ws.get("spec.partial", (n, n_rows, grid), self._cdtype))
-            return np.matmul(
+            return self.backend.matmul(
                 partial, self._spec_col,
                 out=ws.get("spec.compact", (n, n_rows, n_cols),
                            self._cdtype))
@@ -455,9 +510,10 @@ class LithoEngine:
     def _field_k(self, compact: np.ndarray, k: int,
                  out: Optional[np.ndarray] = None) -> np.ndarray:
         """Coherent field of kernel ``k`` via the passband inverse DFT."""
-        return np.matmul(self._ifft_row,
-                         (compact * self._freq_cc[k]) @ self._ifft_col,
-                         out=out)
+        return self.backend.matmul(
+            self._ifft_row,
+            (compact * self._freq_cc[k]) @ self._ifft_col,
+            out=out)
 
     def _forward(self, batch: np.ndarray, dose: float, keep_fields: bool,
                  spectrum: Optional[np.ndarray] = None
@@ -501,21 +557,54 @@ class LithoEngine:
             shape = (num_kernels, n, grid, grid)
             fields = (ws.get("fwd.fields", shape, self._cdtype)
                       if ws is not None
-                      else np.empty(shape, dtype=self._cdtype))
+                      else self._xp.empty(shape, dtype=self._cdtype))
         else:
             fields = None
-        scratch = self.workspace.get("fwd.scratch", (n, grid, grid),
-                                     self._cdtype)
         if ws is not None:
             intensity = ws.zeros("fwd.intensity", (n, grid, grid),
                                  self._rdtype)
         else:
-            intensity = np.zeros((n, grid, grid), dtype=self._rdtype)
-        for k in range(num_kernels):
-            out = fields[k] if keep_fields else scratch
-            field = self._field_k(compact, k, out=out)
-            intensity += self._weights[k] * (field.real ** 2 +
-                                             field.imag ** 2)
+            intensity = self._xp.zeros((n, grid, grid), dtype=self._rdtype)
+        block = self._passband_block
+        if block <= 1:
+            scratch = self.workspace.get("fwd.scratch", (n, grid, grid),
+                                         self._cdtype)
+            for k in range(num_kernels):
+                out = fields[k] if keep_fields else scratch
+                field = self._field_k(compact, k, out=out)
+                intensity += self._weights[k] * (field.real ** 2 +
+                                                 field.imag ** 2)
+        else:
+            # Tuned passband blocking: stack ``block`` kernels into one
+            # batched matmul pair — fewer, bigger GEMMs for threaded
+            # BLAS / device backends.  The intensity accumulation keeps
+            # the exact per-kernel order; only the GEMM granularity
+            # changes (parity ~1e-12 vs the block=1 reference).
+            arena = self.workspace
+            n_rows, n_cols = self._freq_cc.shape[1:]
+            for k0 in range(0, num_kernels, block):
+                k1 = min(k0 + block, num_kernels)
+                b = k1 - k0
+                prod = arena.get(("fwd.block.prod", b),
+                                 (b, n, n_rows, n_cols), self._cdtype)
+                np.multiply(self._freq_cc[k0:k1, None], compact[None],
+                            out=prod)
+                partial = self.backend.matmul(
+                    self._ifft_row, prod,
+                    out=arena.get(("fwd.block.partial", b),
+                                  (b, n, grid, n_cols), self._cdtype))
+                if keep_fields:
+                    block_fields = fields[k0:k1]
+                else:
+                    block_fields = arena.get(("fwd.block.fields", b),
+                                             (b, n, grid, grid),
+                                             self._cdtype)
+                self.backend.matmul(partial, self._ifft_col,
+                                    out=block_fields)
+                for j in range(b):
+                    field = block_fields[j]
+                    intensity += self._weights[k0 + j] * (
+                        field.real ** 2 + field.imag ** 2)
         if dose != 1.0:
             intensity *= dose
         return intensity, fields
@@ -525,7 +614,8 @@ class LithoEngine:
         """Coherent fields ``M (x) h_k``, shaped ``(N, K, grid, grid)``."""
         compact = self._compact_spectrum(batch, spectrum)
         num_kernels = len(self._weights)
-        stacked = np.empty((num_kernels,) + batch.shape, dtype=self._cdtype)
+        stacked = self._xp.empty((num_kernels,) + batch.shape,
+                                 dtype=self._cdtype)
         for k in range(num_kernels):
             self._field_k(compact, k, out=stacked[k])
         return stacked.transpose(1, 0, 2, 3)
@@ -534,9 +624,14 @@ class LithoEngine:
     # Forward model
     # ------------------------------------------------------------------
     def spectrum(self, mask: np.ndarray) -> np.ndarray:
-        """Full FFT of a mask or mask batch (rfft2 + Hermitian expand)."""
+        """Full FFT of a mask or mask batch (rfft2 + Hermitian expand).
+
+        A host-side reference path: the full-grid spectrum is computed
+        with numpy regardless of backend (the hot paths never call it —
+        they evaluate the passband directly via matmul-DFTs).
+        """
         batch, single = self._as_batch(mask)
-        full = real_spectrum(batch)
+        full = real_spectrum(self.backend.to_numpy(batch))
         return full[0] if single else full
 
     def fields(self, mask: np.ndarray,
@@ -624,8 +719,8 @@ class LithoEngine:
         with trace.span("litho.adjoint", masks=batch.shape[0]):
             chunk = self._gradient_chunk
             if batch.shape[0] > chunk:
-                errors = np.empty(batch.shape[0], dtype=self._rdtype)
-                grads = np.empty(batch.shape, dtype=self._rdtype)
+                errors = self._xp.empty(batch.shape[0], dtype=self._rdtype)
+                grads = self._xp.empty(batch.shape, dtype=self._rdtype)
                 for i in range(0, batch.shape[0], chunk):
                     errors[i:i + chunk], grads[i:i + chunk] = \
                         self._gradient_chunk_wrt_mask(
@@ -666,26 +761,52 @@ class LithoEngine:
         n_arows, n_acols = self._adj_cc.shape[1:]
         accumulated = ws.zeros("adj.acc", (n, n_arows, n_acols),
                                self._cdtype)
-        weighted = ws.get("adj.weighted", (n, grid, grid), self._cdtype)
-        partial = ws.get("adj.partial", (n, n_arows, grid), self._cdtype)
-        spectrum_k = ws.get("adj.spectrum", (n, n_arows, n_acols),
-                            self._cdtype)
-        for k in range(len(self._weights)):
-            np.conjugate(fields[k], out=weighted)
-            weighted *= grad_intensity
-            np.matmul(self._fft_row, weighted, out=partial)
-            np.matmul(partial, self._fft_col, out=spectrum_k)
-            spectrum_k *= self._adj_cc[k]
-            accumulated += spectrum_k
-        expanded = np.matmul(
+        block = self._passband_block
+        if block <= 1:
+            weighted = ws.get("adj.weighted", (n, grid, grid), self._cdtype)
+            partial = ws.get("adj.partial", (n, n_arows, grid), self._cdtype)
+            spectrum_k = ws.get("adj.spectrum", (n, n_arows, n_acols),
+                                self._cdtype)
+            for k in range(len(self._weights)):
+                self.backend.conjugate(fields[k], out=weighted)
+                weighted *= grad_intensity
+                self.backend.matmul(self._fft_row, weighted, out=partial)
+                self.backend.matmul(partial, self._fft_col, out=spectrum_k)
+                spectrum_k *= self._adj_cc[k]
+                accumulated += spectrum_k
+        else:
+            # Tuned passband blocking (see _forward_impl): the kernel
+            # sum keeps its exact sequential order per block, only the
+            # DFT matmuls are batched.
+            num_kernels = len(self._weights)
+            for k0 in range(0, num_kernels, block):
+                k1 = min(k0 + block, num_kernels)
+                b = k1 - k0
+                weighted = ws.get(("adj.block.weighted", b),
+                                  (b, n, grid, grid), self._cdtype)
+                self.backend.conjugate(fields[k0:k1], out=weighted)
+                weighted *= grad_intensity
+                partial = self.backend.matmul(
+                    self._fft_row, weighted,
+                    out=ws.get(("adj.block.partial", b),
+                               (b, n, n_arows, grid), self._cdtype))
+                spectrum_b = self.backend.matmul(
+                    partial, self._fft_col,
+                    out=ws.get(("adj.block.spectrum", b),
+                               (b, n, n_arows, n_acols), self._cdtype))
+                spectrum_b *= self._adj_cc[k0:k1, None]
+                for j in range(b):
+                    accumulated += spectrum_b[j]
+        expanded = self.backend.matmul(
             self._grad_row,
-            np.matmul(accumulated, self._grad_col,
-                      out=ws.get("adj.expand", (n, n_arows, grid),
-                                 self._cdtype)),
+            self.backend.matmul(
+                accumulated, self._grad_col,
+                out=ws.get("adj.expand", (n, n_arows, grid),
+                           self._cdtype)),
             out=ws.get("adj.grad", (n, grid, grid), self._cdtype))
         # ``.real`` is a view into the workspace buffer — copy so the
         # returned gradient owns its memory.
-        grad = np.array(expanded.real, dtype=self._rdtype)
+        grad = self._xp.array(expanded.real, dtype=self._rdtype)
         return errors, grad
 
     def error_and_gradient(
@@ -698,7 +819,7 @@ class LithoEngine:
         parameters ``M`` (Eq. 14 in full, including the mask sigmoid)."""
         beta = (self.config.mask_steepness if mask_steepness is None
                 else mask_steepness)
-        params = np.asarray(mask_params)
+        params = self.backend.asarray(mask_params)
         if params.dtype != self._rdtype:
             params = params.astype(self._rdtype)
         relaxed = sigmoid_mask(params, beta)
@@ -721,7 +842,7 @@ class LithoEngine:
         beta = (self.config.mask_steepness if mask_steepness is None
                 else mask_steepness)
         masks = binarize_mask(sigmoid_mask(
-            np.asarray(mask_params, dtype=float), beta))
+            self.backend.asarray(mask_params, dtype=np.float64), beta))
         return masks, self.discrete_l2(masks, target)
 
     # ------------------------------------------------------------------
@@ -762,9 +883,18 @@ class LithoEngine:
             group_of = np.empty(self.num_conditions, dtype=int)
             for g, (_, indices) in enumerate(groups):
                 group_of[list(indices)] = g
-            self._condition_stack = _ConditionStack(
+            stack = _ConditionStack(
                 self.conditions, kernel_sets, group_of,
                 self._rdtype, self._cdtype)
+            # Corner kernel tensors and DFT factors move to the
+            # backend device (identity for numpy); per-corner scalars
+            # (weights, doses) and the group index stay host-side.
+            for attr in ("freq_cc", "adj_cc", "lam", "spec_row",
+                         "spec_col", "ifft_row", "ifft_col", "fft_row",
+                         "fft_col", "grad_row", "grad_col"):
+                setattr(stack, attr, self.backend.asarray(
+                    getattr(stack, attr)))
+            self._condition_stack = stack
         return self._condition_stack
 
     def _condition_compact_spectrum(self, batch: np.ndarray) -> np.ndarray:
@@ -782,11 +912,11 @@ class LithoEngine:
             complex_batch = ws.get("cond.spec.batch", (n, grid, grid),
                                    self._cdtype)
             complex_batch[...] = batch
-            partial = np.matmul(
+            partial = self.backend.matmul(
                 cond.spec_row, complex_batch,
                 out=ws.get("cond.spec.partial", (n, n_rows, grid),
                            self._cdtype))
-            return np.matmul(
+            return self.backend.matmul(
                 partial, cond.spec_col,
                 out=ws.get("cond.spec.compact", (n, n_rows, n_cols),
                            self._cdtype))
@@ -818,7 +948,7 @@ class LithoEngine:
         for g, group in enumerate(cond.group_slices):
             for j in range(group.start, group.stop):
                 out = fields[j] if keep_fields else scratch
-                field = np.matmul(
+                field = self.backend.matmul(
                     cond.ifft_row, (compact * cond.freq_cc[j]) @ cond.ifft_col,
                     out=out)
                 group_intensity[g] += cond.weights[j] * (field.real ** 2 +
@@ -841,8 +971,8 @@ class LithoEngine:
                         corners=self.num_conditions):
             group_intensity, _ = self._condition_forward_impl(
                 batch, keep_fields=False)
-            out = np.empty((n, self.num_conditions, grid, grid),
-                           dtype=self._rdtype)
+            out = self._xp.empty((n, self.num_conditions, grid, grid),
+                                 dtype=self._rdtype)
             for c in range(self.num_conditions):
                 source = group_intensity[cond.group_of[c]]
                 if cond.doses[c] != 1.0:
@@ -909,10 +1039,11 @@ class LithoEngine:
 
         with trace.span("litho.adjoint", masks=batch.shape[0],
                         corners=self.num_conditions):
-            chunk = self._condition().gradient_chunk
+            chunk = (int(self.tuning.batch_chunk) if self.tuning.batch_chunk
+                     else self._condition().gradient_chunk)
             if batch.shape[0] > chunk:
-                errors = np.empty(batch.shape[0], dtype=self._rdtype)
-                grads = np.empty(batch.shape, dtype=self._rdtype)
+                errors = self._xp.empty(batch.shape[0], dtype=self._rdtype)
+                grads = self._xp.empty(batch.shape, dtype=self._rdtype)
                 for i in range(0, batch.shape[0], chunk):
                     errors[i:i + chunk], grads[i:i + chunk] = \
                         self._condition_gradient_chunk(
@@ -940,7 +1071,7 @@ class LithoEngine:
 
         # Per-corner errors and upstream dE_c/dI (resist slope and the
         # dose chain-rule factor folded in, matching the nominal path).
-        errors = np.empty((n, num_corners), dtype=self._rdtype)
+        errors = self._xp.empty((n, num_corners), dtype=self._rdtype)
         grad_intensity = ws.get(
             "cond.grad_i", (num_corners, n, grid, grid), self._rdtype)
         for c in range(num_corners):
@@ -961,9 +1092,9 @@ class LithoEngine:
             aggregated = errors @ cond.lam
         else:  # worst corner, per sample
             worst = np.argmax(errors, axis=1)
-            coef = np.zeros((n, num_corners), dtype=self._rdtype)
-            coef[np.arange(n), worst] = 1.0
-            aggregated = errors[np.arange(n), worst]
+            coef = self._xp.zeros((n, num_corners), dtype=self._rdtype)
+            coef[self._xp.arange(n), worst] = 1.0
+            aggregated = errors[self._xp.arange(n), worst]
 
         # Combine corner upstreams per defocus group, then run the
         # standard adjoint over the whole stacked kernel tensor.
@@ -982,20 +1113,21 @@ class LithoEngine:
                             self._cdtype)
         for g, group in enumerate(cond.group_slices):
             for j in range(group.start, group.stop):
-                np.conjugate(fields[j], out=weighted)
+                self.backend.conjugate(fields[j], out=weighted)
                 weighted *= combined[g]
-                np.matmul(cond.fft_row, weighted, out=partial)
-                np.matmul(partial, cond.fft_col, out=spectrum_j)
+                self.backend.matmul(cond.fft_row, weighted, out=partial)
+                self.backend.matmul(partial, cond.fft_col, out=spectrum_j)
                 spectrum_j *= cond.adj_cc[j]
                 accumulated += spectrum_j
-        expanded = np.matmul(
+        expanded = self.backend.matmul(
             cond.grad_row,
-            np.matmul(accumulated, cond.grad_col,
-                      out=ws.get("cond.adj.expand", (n, n_arows, grid),
-                                 self._cdtype)),
+            self.backend.matmul(
+                accumulated, cond.grad_col,
+                out=ws.get("cond.adj.expand", (n, n_arows, grid),
+                           self._cdtype)),
             out=ws.get("cond.adj.grad", (n, grid, grid), self._cdtype))
-        grad = np.array(expanded.real, dtype=self._rdtype)
-        return np.asarray(aggregated, dtype=self._rdtype), grad
+        grad = self._xp.array(expanded.real, dtype=self._rdtype)
+        return self._xp.asarray(aggregated, dtype=self._rdtype), grad
 
     def condition_error_and_gradient(
             self, mask_params: np.ndarray, target: np.ndarray,
@@ -1008,7 +1140,7 @@ class LithoEngine:
         (the full Eq. 14 chain through the mask sigmoid)."""
         beta = (self.config.mask_steepness if mask_steepness is None
                 else mask_steepness)
-        params = np.asarray(mask_params)
+        params = self.backend.asarray(mask_params)
         if params.dtype != self._rdtype:
             params = params.astype(self._rdtype)
         relaxed = sigmoid_mask(params, beta)

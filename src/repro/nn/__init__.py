@@ -38,7 +38,7 @@ from .optim import (SGD, Adam, ExponentialLR, Optimizer, StepLR,
 from .serialization import CheckpointLoadError, load_state, save_state
 from .tensor import (Tensor, concatenate, full, is_grad_enabled, maximum,
                      no_grad, ones, pad2d, stack, where, zeros)
-from .utils import to_dtype
+from .utils import compute_dtype, to_dtype
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled",
@@ -55,5 +55,5 @@ __all__ = [
     "Optimizer", "SGD", "Adam", "StepLR", "ExponentialLR",
     "clip_grad_norm_", "global_grad_norm",
     "save_state", "load_state", "CheckpointLoadError",
-    "to_dtype",
+    "to_dtype", "compute_dtype",
 ]

@@ -40,6 +40,16 @@ class Optimizer:
     def load_state_dict(self, state: Dict) -> None:
         self.lr = float(state["lr"])
 
+    def to_dtype(self, dtype) -> "Optimizer":
+        """Cast any per-parameter optimizer state (momentum/moment
+        buffers) to ``dtype`` in place.  The base optimizer keeps no
+        such state; subclasses override.  ``nn.to_dtype`` calls this
+        for every optimizer it is handed, so a module cast mid-run
+        stays dtype-consistent with a freshly built one.
+        """
+        np.dtype(dtype)  # validate
+        return self
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -77,6 +87,12 @@ class SGD(Optimizer):
         self.momentum = float(state["momentum"])
         self.weight_decay = float(state["weight_decay"])
         self._velocity = [None if v is None else v.copy() for v in state["velocity"]]
+
+    def to_dtype(self, dtype) -> "SGD":
+        dtype = np.dtype(dtype)
+        self._velocity = [None if v is None else v.astype(dtype, copy=False)
+                          for v in self._velocity]
+        return self
 
 
 class Adam(Optimizer):
@@ -132,6 +148,14 @@ class Adam(Optimizer):
         self._step_count = int(state["step_count"])
         self._m = [None if m is None else m.copy() for m in state["m"]]
         self._v = [None if v is None else v.copy() for v in state["v"]]
+
+    def to_dtype(self, dtype) -> "Adam":
+        dtype = np.dtype(dtype)
+        self._m = [None if m is None else m.astype(dtype, copy=False)
+                   for m in self._m]
+        self._v = [None if v is None else v.astype(dtype, copy=False)
+                   for v in self._v]
+        return self
 
 
 def global_grad_norm(parameters: Iterable[Parameter]) -> float:

@@ -259,7 +259,16 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------
     def _coerce(self, other: ArrayLike) -> "Tensor":
-        return other if isinstance(other, Tensor) else Tensor(other)
+        if isinstance(other, Tensor):
+            return other
+        # Scalars adopt this tensor's dtype: a bare python float wrapped
+        # via np.asarray becomes a float64 0-d array, which under NEP 50
+        # promotion would silently drag a float32 graph up to double.
+        # (For float64 tensors this cast is the identity, so the f64
+        # path stays bit-exact.)
+        if np.isscalar(other):
+            return Tensor(np.asarray(other, dtype=self.data.dtype))
+        return Tensor(other)
 
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
@@ -517,7 +526,10 @@ class Tensor:
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         a = self
         mask = a.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        # Build the slope array in the input dtype (np.where of python
+        # floats is float64, which would promote a float32 graph).
+        scale = np.where(mask, 1.0, negative_slope).astype(
+            a.data.dtype, copy=False)
 
         def backward(grad):
             return (grad * scale,)
@@ -542,16 +554,18 @@ class Tensor:
 # ----------------------------------------------------------------------
 # Free-function constructors and graph ops used across the package
 # ----------------------------------------------------------------------
-def zeros(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+def zeros(shape, requires_grad: bool = False, dtype=None) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
 
 
-def ones(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+def ones(shape, requires_grad: bool = False, dtype=None) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
 
 
-def full(shape, value: float, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.full(shape, float(value)), requires_grad=requires_grad)
+def full(shape, value: float, requires_grad: bool = False,
+         dtype=None) -> Tensor:
+    return Tensor(np.full(shape, float(value), dtype=dtype),
+                  requires_grad=requires_grad)
 
 
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:

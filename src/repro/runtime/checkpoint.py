@@ -33,6 +33,7 @@ import numpy as np
 
 from ..nn.modules import Module
 from ..nn.optim import Optimizer
+from ..nn.utils import to_dtype
 
 CHECKPOINT_VERSION = 1
 _META_KEY = "__meta__"
@@ -87,12 +88,27 @@ def restore_state(state: TrainingState, modules: Dict[str, Module],
     Module/optimizer names must match what was captured; a missing name
     raises :class:`CheckpointError` rather than silently leaving a
     network at its random initialization.
+
+    Restoring is dtype-faithful: the checkpoint's arrays carry their
+    compute dtype, and the live module is cast to it *before* loading
+    (``Module.load_state_dict`` adopts the live parameter dtype, so
+    without the cast an f32 checkpoint loaded into a freshly built f64
+    module would silently resume in double precision — no longer
+    dtype-consistent with the run that wrote it).  Optimizer moments
+    round-trip their stored dtype already.
     """
     for name, module in modules.items():
         if name not in state.modules:
             raise CheckpointError(
                 f"checkpoint has no state for module {name!r} "
                 f"(available: {sorted(state.modules)})")
+        float_dtypes = {np.dtype(array.dtype)
+                        for array in state.modules[name].values()
+                        if np.dtype(array.dtype).kind == "f"}
+        if len(float_dtypes) == 1:
+            stored = float_dtypes.pop()
+            if stored in (np.dtype(np.float32), np.dtype(np.float64)):
+                to_dtype(module, stored)
         module.load_state_dict(state.modules[name])
     for name, optimizer in optimizers.items():
         if name not in state.optimizers:

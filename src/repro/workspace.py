@@ -18,6 +18,14 @@ allocated, never arena-backed; the litho engine and ``repro.nn``
 observe this rule by only passing workspace buffers through internal
 code paths.
 
+Buffers are stored under ``(key, dtype, backend)`` composite keys, so
+an arena shared by f32 and f64 call paths (or by numpy and cupy
+engines) keeps one live buffer per dtype/backend instead of
+thrashing a single slot — and, more importantly, an f32 caller can
+never be handed a view aliasing an f64 caller's live data.  Arenas
+constructed with a :class:`repro.backend.ArrayBackend` allocate on
+that backend (GPU arenas hold device memory).
+
 Workspaces are intentionally not thread-safe: each
 :class:`~repro.litho.engine.LithoEngine` (and the ``repro.nn``
 functional layer) owns one and is driven from a single thread per
@@ -33,7 +41,7 @@ aliasing suspicion.
 from __future__ import annotations
 
 import os
-from typing import Dict, Hashable, Tuple
+from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -44,7 +52,7 @@ def _env_enabled() -> bool:
 
 
 class Workspace:
-    """Keyed arena of reusable numpy scratch buffers.
+    """Keyed arena of reusable scratch buffers.
 
     Parameters
     ----------
@@ -52,34 +60,52 @@ class Workspace:
         ``False`` makes :meth:`get` always allocate (no reuse).  The
         default consults ``REPRO_WORKSPACE`` (anything but
         ``0/off/none/false`` enables).
+    backend:
+        Optional :class:`repro.backend.ArrayBackend` the arena
+        allocates on; ``None`` means host numpy.  The backend name is
+        part of every storage key, so one arena can serve mixed
+        numpy/cupy callers without ever aliasing buffers across
+        backends.
     """
 
-    __slots__ = ("enabled", "_buffers", "hits", "misses")
+    __slots__ = ("enabled", "backend", "_backend_name", "_buffers",
+                 "hits", "misses")
 
-    def __init__(self, enabled: bool = None):
+    def __init__(self, enabled: Optional[bool] = None, backend=None):
         self.enabled = _env_enabled() if enabled is None else bool(enabled)
+        self.backend = backend
+        self._backend_name = "numpy" if backend is None else backend.name
         self._buffers: Dict[Hashable, np.ndarray] = {}
         self.hits = 0
         self.misses = 0
+
+    def _alloc(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        if self.backend is None:
+            return np.empty(shape, dtype=dtype)
+        return self.backend.empty(shape, dtype=dtype)
 
     def get(self, key: Hashable, shape: Tuple[int, ...],
             dtype) -> np.ndarray:
         """Uninitialized buffer of ``shape``/``dtype`` for ``key``.
 
-        Reuses the previous buffer for ``key`` when shape and dtype
-        match; otherwise (or when disabled) allocates.  Contents are
-        arbitrary — treat like ``np.empty``.
+        Reuses the previous buffer for ``(key, dtype, backend)`` when
+        the shape matches; otherwise (or when disabled) allocates.
+        Contents are arbitrary — treat like ``np.empty``.  Requests
+        for the same ``key`` under different dtypes coexist: each
+        dtype owns its own slot, so cross-dtype callers never alias
+        (and never thrash) each other's buffers.
         """
+        dtype = np.dtype(dtype)
         if not self.enabled:
-            return np.empty(shape, dtype=dtype)
-        buffer = self._buffers.get(key)
-        if (buffer is not None and buffer.shape == tuple(shape)
-                and buffer.dtype == np.dtype(dtype)):
+            return self._alloc(shape, dtype)
+        storage_key = (key, dtype, self._backend_name)
+        buffer = self._buffers.get(storage_key)
+        if buffer is not None and buffer.shape == tuple(shape):
             self.hits += 1
             return buffer
         self.misses += 1
-        buffer = np.empty(shape, dtype=dtype)
-        self._buffers[key] = buffer
+        buffer = self._alloc(shape, dtype)
+        self._buffers[storage_key] = buffer
         return buffer
 
     def zeros(self, key: Hashable, shape: Tuple[int, ...],
@@ -100,5 +126,6 @@ class Workspace:
 
     def __repr__(self) -> str:
         return (f"Workspace(enabled={self.enabled}, "
+                f"backend={self._backend_name!r}, "
                 f"buffers={len(self._buffers)}, nbytes={self.nbytes}, "
                 f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,105 @@
+"""Workspace arenas must never alias buffers across dtypes/backends.
+
+Regression tests for the composite ``(key, dtype, backend)`` storage
+keys: before them, an arena shared by f32 and f64 call paths thrashed
+one slot per key (reallocating on every precision switch) — and worse,
+a same-shape request could hand an f32 caller a live f64 buffer's
+memory reinterpreted.
+"""
+
+import numpy as np
+
+from repro.backend import resolve_backend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.workspace import Workspace
+
+
+class TestDtypeKeying:
+    def test_cross_dtype_never_aliases(self):
+        ws = Workspace(enabled=True)
+        a32 = ws.get("scratch", (8, 8), np.float32)
+        a64 = ws.get("scratch", (8, 8), np.float64)
+        assert a32.dtype == np.float32
+        assert a64.dtype == np.float64
+        assert not np.shares_memory(a32, a64)
+        # Writing through one slot must not corrupt the other.
+        a32.fill(1.0)
+        a64.fill(2.0)
+        assert float(a32[0, 0]) == 1.0
+        assert float(a64[0, 0]) == 2.0
+
+    def test_cross_dtype_does_not_thrash(self):
+        ws = Workspace(enabled=True)
+        a32 = ws.get("scratch", (4, 4), np.float32)
+        a64 = ws.get("scratch", (4, 4), np.float64)
+        # Alternating dtypes must hit both slots, not reallocate.
+        assert ws.get("scratch", (4, 4), np.float32) is a32
+        assert ws.get("scratch", (4, 4), np.float64) is a64
+        assert ws.get("scratch", (4, 4), np.float32) is a32
+        assert ws.hits == 3 and ws.misses == 2
+
+    def test_complex_dtypes_keyed_separately(self):
+        ws = Workspace(enabled=True)
+        c64 = ws.get("spec", (4, 4), np.complex64)
+        c128 = ws.get("spec", (4, 4), np.complex128)
+        assert c64.dtype == np.complex64 and c128.dtype == np.complex128
+        assert not np.shares_memory(c64, c128)
+
+    def test_shape_change_reallocates_within_dtype(self):
+        ws = Workspace(enabled=True)
+        small = ws.get("buf", (2, 2), np.float64)
+        big = ws.get("buf", (4, 4), np.float64)
+        assert small is not big
+        assert ws.get("buf", (4, 4), np.float64) is big
+
+    def test_dtype_spec_normalized(self):
+        ws = Workspace(enabled=True)
+        a = ws.get("buf", (2, 2), np.float64)
+        # "float64", np.float64 and np.dtype(np.float64) are one slot.
+        assert ws.get("buf", (2, 2), "float64") is a
+        assert ws.get("buf", (2, 2), np.dtype(np.float64)) is a
+
+
+class TestBackendKeying:
+    class _FakeBackend(NumpyBackend):
+        name = "fake"
+
+    def test_backend_name_in_storage_key(self):
+        fake = self._FakeBackend()
+        ws = Workspace(enabled=True, backend=fake)
+        buffer = ws.get("buf", (2, 2), np.float64)
+        assert ("buf", np.dtype(np.float64), "fake") in ws._buffers
+        assert ws.get("buf", (2, 2), np.float64) is buffer
+
+    def test_default_backend_name_is_numpy(self):
+        ws = Workspace(enabled=True)
+        ws.get("buf", (2, 2), np.float64)
+        assert ("buf", np.dtype(np.float64), "numpy") in ws._buffers
+
+    def test_allocation_goes_through_backend(self):
+        calls = []
+
+        class SpyBackend(NumpyBackend):
+            name = "spy"
+
+            def empty(self, shape, dtype):
+                calls.append((tuple(shape), np.dtype(dtype)))
+                return super().empty(shape, dtype=dtype)
+
+        ws = Workspace(enabled=True, backend=SpyBackend())
+        ws.get("buf", (3, 3), np.float32)
+        assert calls == [((3, 3), np.dtype(np.float32))]
+
+    def test_engine_workspace_carries_engine_backend(self):
+        from repro.litho import LithoConfig, LithoEngine, build_kernels
+        engine = LithoEngine(kernels=build_kernels(LithoConfig.small(32)),
+                             backend=resolve_backend("numpy"))
+        assert engine.workspace._backend_name == "numpy"
+
+
+class TestDisabled:
+    def test_disabled_always_allocates(self):
+        ws = Workspace(enabled=False)
+        a = ws.get("buf", (2, 2), np.float64)
+        b = ws.get("buf", (2, 2), np.float64)
+        assert a is not b
